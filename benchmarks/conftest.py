@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index (E1-E8)
+and, where the experiment has a result table, prints it (run with ``-s``
+to see the tables; EXPERIMENTS.md records the reference output).
+"""
+
+import pytest
+
+from repro.core import make_view
+
+
+@pytest.fixture
+def universe4():
+    return ["p1", "p2", "p3", "p4"]
+
+
+@pytest.fixture
+def v0_of(universe4):
+    return make_view(0, universe4[:3])

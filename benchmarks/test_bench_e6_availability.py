@@ -1,0 +1,97 @@
+"""E6 -- the paper's motivation, quantified: dynamic vs static primaries.
+
+Three regimes over the same connectivity histories:
+
+1. fixed population, random partitions -- static and dynamic comparable;
+2. drifting population (permanent departures, fresh joins) -- static
+   majority availability collapses, dynamic voting keeps tracking;
+3. interrupted formations -- naive dynamic voting forms disjoint
+   primaries (split brain), the LKD/DVS rule never does.
+
+The printed tables are the reference results recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis import (
+    compare_trackers,
+    drifting_population,
+    random_churn,
+    render_table,
+)
+from repro.core import make_view
+from repro.membership import (
+    DynamicVotingTracker,
+    NaiveDynamicTracker,
+    StaticMajorityTracker,
+)
+
+UNIVERSE = ["p{0}".format(i) for i in range(1, 8)]
+V0 = make_view(0, UNIVERSE)
+HEADERS = ["rule", "availability", "primaries", "disjoint"]
+
+
+def _fixed_population():
+    scenario = random_churn(UNIVERSE, 400, seed=3, partition_prob=0.5)
+    return compare_trackers(
+        [
+            ("static majority", StaticMajorityTracker(V0)),
+            ("dynamic voting (DVS)", DynamicVotingTracker(V0)),
+            ("dynamic voting lag=2", DynamicVotingTracker(V0, register_lag=2)),
+        ],
+        scenario,
+    )
+
+
+def _drifting_population():
+    scenario = drifting_population(
+        UNIVERSE, 600, seed=5, leave_prob=0.02, join_prob=0.015
+    )
+    return compare_trackers(
+        [
+            ("static majority", StaticMajorityTracker(V0)),
+            ("dynamic voting (DVS)", DynamicVotingTracker(V0)),
+        ],
+        scenario,
+    )
+
+
+def _interrupted_formations(seed=1):
+    scenario = random_churn(UNIVERSE, 500, seed=seed, partition_prob=0.7)
+    return compare_trackers(
+        [
+            ("naive dynamic", NaiveDynamicTracker(
+                V0, failure_prob=0.4, seed=seed)),
+            ("dynamic voting (DVS)", DynamicVotingTracker(
+                V0, register_lag=1, failure_prob=0.4, seed=seed)),
+        ],
+        scenario,
+    )
+
+
+def test_bench_fixed_population(benchmark):
+    results = benchmark(_fixed_population)
+    print()
+    print(render_table(HEADERS, [r.row() for r in results],
+                       title="E6a: fixed population"))
+    static, dynamic, lagged = results
+    assert abs(static.availability - dynamic.availability) < 0.2
+    assert all(r.disjoint_incidents == 0 for r in results)
+
+
+def test_bench_drifting_population(benchmark):
+    results = benchmark(_drifting_population)
+    print()
+    print(render_table(HEADERS, [r.row() for r in results],
+                       title="E6b: drifting population"))
+    static, dynamic = results
+    assert static.availability < 0.3
+    assert dynamic.availability > 0.6
+
+
+def test_bench_interrupted_formations(benchmark):
+    results = benchmark(_interrupted_formations)
+    print()
+    print(render_table(HEADERS, [r.row() for r in results],
+                       title="E6c: interrupted formations (split brain)"))
+    naive, dvs = results
+    assert naive.disjoint_incidents > 0
+    assert dvs.disjoint_incidents == 0

@@ -1,0 +1,62 @@
+"""E6 (figure form) -- availability curves over churn parameters.
+
+Sweeps trace the full curves behind the E6 tables: availability vs.
+departure rate (where the static and dynamic rules cross), and
+availability vs. registration lag (the price of slow state exchange).
+"""
+
+from repro.analysis import (
+    ascii_series,
+    crossover_point,
+    render_table,
+    sweep_drift_rate,
+    sweep_register_lag,
+)
+
+UNIVERSE = ["p{0}".format(i) for i in range(1, 8)]
+LEAVE_PROBS = [0.0, 0.005, 0.01, 0.02, 0.04, 0.08]
+LAGS = [0, 1, 2, 4]
+
+
+def test_bench_drift_sweep(benchmark):
+    points = benchmark(
+        lambda: sweep_drift_rate(
+            UNIVERSE, LEAVE_PROBS, steps=300, repeats=2
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["leave prob", "static avail", "dynamic avail"],
+            [p.row() for p in points],
+            title="E6 figure: availability vs departure rate",
+        )
+    )
+    print(ascii_series(points))
+    crossover = crossover_point(points)
+    print("crossover at leave_prob =", crossover)
+    # Shape: equal at zero drift; dynamic dominates from the first
+    # nonzero drift rate onward.
+    assert abs(points[0].static - points[0].dynamic) < 0.1
+    assert crossover is not None and crossover <= LEAVE_PROBS[1]
+    assert all(p.dynamic > p.static for p in points[1:])
+
+
+def test_bench_register_lag_sweep(benchmark):
+    points = benchmark(
+        lambda: sweep_register_lag(UNIVERSE, LAGS, steps=300, repeats=2)
+    )
+    print()
+    print(
+        render_table(
+            ["register lag", "static avail", "dynamic avail"],
+            [p.row() for p in points],
+            title="E6 figure: availability vs registration lag",
+        )
+    )
+    # Shape: static is lag-independent; dynamic availability is
+    # non-increasing in the lag.
+    statics = {p.static for p in points}
+    assert len(statics) == 1
+    dynamics = [p.dynamic for p in points]
+    assert all(a >= b - 1e-9 for a, b in zip(dynamics, dynamics[1:]))

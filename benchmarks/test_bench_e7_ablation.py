@@ -1,0 +1,81 @@
+"""E7 -- ablation: how fast counterexample search refutes broken variants.
+
+For each ablated ``VS-TO-DVS_p`` (majority check weakened, info wait
+dropped, eager garbage collection) the randomized search finds an
+invariant violation; for the faithful algorithm the same budget finds
+none.  The benchmark measures time-to-counterexample.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.checking import build_closed_dvs_impl, random_view_pool
+from repro.core import make_view
+from repro.dvs.ablation import (
+    EagerGarbageCollectVsToDvs,
+    NoInfoWaitVsToDvs,
+    NoMajorityCheckVsToDvs,
+)
+from repro.dvs.invariants import dvs_impl_invariants
+from repro.dvs.vs_to_dvs import VsToDvs
+from repro.ioa import run_random
+from repro.ioa.errors import InvariantViolation
+
+UNIVERSE = ["p1", "p2", "p3", "p4", "p5"]
+V0 = make_view(0, UNIVERSE)
+WEIGHTS = {
+    "vs_createview": 0.4,
+    "vs_newview": 1.5,
+    "dvs_register": 2.5,
+    "dvs_garbage_collect": 2.5,
+    "dvs_newview": 2.0,
+}
+
+
+def search(factory, max_seeds=8, steps=2000):
+    """Return (violation or None, seeds tried, steps executed)."""
+    executed = 0
+    for seed in range(max_seeds):
+        pool = random_view_pool(UNIVERSE, 7, seed=seed * 13 + 1, min_size=1)
+        system, procs = build_closed_dvs_impl(
+            V0,
+            UNIVERSE,
+            view_pool=pool,
+            budget=1,
+            eager_register=True,
+            filter_factory=factory,
+        )
+        suite = dvs_impl_invariants(procs)
+        execution = run_random(system, steps, seed=seed, weights=WEIGHTS)
+        executed += len(execution)
+        try:
+            suite.check_execution(execution)
+        except InvariantViolation as violation:
+            return violation, seed + 1, executed
+    return None, max_seeds, executed
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [NoMajorityCheckVsToDvs, NoInfoWaitVsToDvs, EagerGarbageCollectVsToDvs],
+    ids=["no-majority", "no-info-wait", "eager-gc"],
+)
+def test_bench_counterexample_search(benchmark, factory):
+    violation, seeds, steps = benchmark(lambda: search(factory))
+    print()
+    print(
+        render_table(
+            ["variant", "violated invariant", "seeds", "steps"],
+            [[factory.__name__,
+              getattr(violation, "invariant_name", "-"), seeds, steps]],
+            title="E7: time-to-counterexample",
+        )
+    )
+    assert violation is not None
+
+
+def test_bench_faithful_algorithm_survives_same_budget(benchmark):
+    violation, seeds, steps = benchmark(
+        lambda: search(VsToDvs, max_seeds=4)
+    )
+    assert violation is None

@@ -1,0 +1,97 @@
+"""E9 -- Section 7 extensions, measured.
+
+(a) The Isis same-messages property: DVS deliberately omits it; the
+    randomized search finds a concrete violation quickly, while the TO
+    guarantees hold on the same executions (the paper's point: total
+    order does not need the Isis property).
+(b) SX-DVS (service-supported state exchange): the simplified TO
+    application over SX-DVS versus the Figure 5 application over DVS --
+    same workload, same adversary; compare recovery event counts.
+"""
+
+from repro.analysis import render_table
+from repro.checking import (
+    build_closed_to_impl,
+    check_to_trace_properties,
+    random_view_pool,
+)
+from repro.checking.harness import build_closed_sx_to_impl
+from repro.checking.isis_property import find_isis_counterexample
+from repro.core import make_view
+from repro.ioa import run_random
+
+UNIVERSE = ["p1", "p2", "p3"]
+V0 = make_view(0, UNIVERSE)
+
+
+def test_bench_isis_counterexample_search(benchmark):
+    result = benchmark(
+        lambda: find_isis_counterexample(max_seeds=10, steps=2000)
+    )
+    assert result is not None
+    seed, violations, _ = result
+    print()
+    print(
+        render_table(
+            ["found at seed", "violations", "example"],
+            [[seed, len(violations), str(violations[0])[:60]]],
+            title="E9a: Isis same-messages property violated by DVS",
+        )
+    )
+
+
+def _run_variant(builder, weights, seed=0):
+    pool = random_view_pool(UNIVERSE, 4, seed=19, min_size=2)
+    system, procs = builder(V0, UNIVERSE, view_pool=pool, budget=3)
+    return run_random(system, 3000, seed=seed, weights=weights)
+
+
+def test_bench_sx_vs_figure5_recovery(benchmark):
+    """Recovery traffic: Figure 5's app-level exchange vs SX-DVS."""
+
+    def measure():
+        fig5 = _run_variant(
+            build_closed_to_impl,
+            {"dvs_createview": 0.08, "bcast": 1.0},
+        )
+        sx = _run_variant(
+            build_closed_sx_to_impl,
+            {"dvs_createview": 0.08, "bcast": 1.0},
+        )
+        check_to_trace_properties(fig5.trace())
+        check_to_trace_properties(sx.trace())
+
+        def recovery_events(execution, names):
+            return sum(
+                1 for a in execution.actions() if a.name in names
+            )
+
+        from repro.to.summaries import Summary
+
+        fig5_summaries = sum(
+            1
+            for a in fig5.actions()
+            if a.name in ("dvs_gpsnd", "dvs_gprcv")
+            and isinstance(a.params[0], Summary)
+        )
+        sx_exchange = recovery_events(
+            sx, {"sx_sendstate", "sx_statedelivery", "sx_statesafe"}
+        )
+        fig5_views = recovery_events(fig5, {"dvs_newview"})
+        sx_views = recovery_events(sx, {"dvs_newview"})
+        return fig5_summaries, sx_exchange, fig5_views, sx_views
+
+    fig5_summaries, sx_exchange, fig5_views, sx_views = benchmark(measure)
+    print()
+    print(
+        render_table(
+            ["variant", "recovery events", "views"],
+            [
+                ["Figure 5 over DVS (summary msgs)", fig5_summaries,
+                 fig5_views],
+                ["simplified app over SX-DVS", sx_exchange, sx_views],
+            ],
+            title="E9b: recovery machinery, application vs service",
+        )
+    )
+    assert sx_exchange >= 0 and fig5_summaries >= 0

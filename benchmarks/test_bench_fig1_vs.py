@@ -1,0 +1,45 @@
+"""E1 -- Figure 1 (VS): execution throughput and invariant checking.
+
+Regenerates the VS specification's behaviour: a closed VS system under a
+partition adversary, measured as scheduler steps per benchmark round, plus
+the cost of checking Invariant 3.1 (and the auxiliary VS invariants) on
+every reachable state of an execution.
+"""
+
+from repro.checking import build_closed_vs_spec, random_view_pool
+from repro.core import make_view
+from repro.ioa import run_random
+from repro.vs import vs_invariants
+
+UNIVERSE = ["p1", "p2", "p3", "p4"]
+V0 = make_view(0, UNIVERSE[:3])
+POOL = random_view_pool(UNIVERSE, 5, seed=17, min_size=2)
+WEIGHTS = {"vs_createview": 0.1, "vs_newview": 0.6}
+STEPS = 400
+
+
+def _run(seed=0):
+    system, _ = build_closed_vs_spec(V0, UNIVERSE, view_pool=POOL, budget=3)
+    return run_random(system, STEPS, seed=seed, weights=WEIGHTS)
+
+
+def test_bench_vs_execution(benchmark):
+    """Steps of the VS spec automaton per second (Figure 1 executed)."""
+    execution = benchmark(_run)
+    assert len(execution) > 50
+
+
+def test_bench_vs_invariant_checking(benchmark):
+    """Invariant 3.1 + auxiliaries checked on every state of a run."""
+    execution = _run()
+    suite = vs_invariants()
+
+    def check():
+        count = 0
+        for state in execution.states():
+            suite.check_state(state.part("vs"))
+            count += 1
+        return count
+
+    states = benchmark(check)
+    assert states == len(execution) + 1

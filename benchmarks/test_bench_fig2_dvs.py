@@ -1,0 +1,66 @@
+"""E2 -- Figure 2 (DVS): execution throughput and Invariants 4.1/4.2.
+
+Regenerates the DVS specification's behaviour under a primary-view
+adversary and measures (a) raw stepping throughput and (b) the cost of the
+dynamic intersection invariant, whose check is quadratic in the number of
+created views -- the price of the weaker-than-static guarantee.
+"""
+
+from repro.checking import build_closed_dvs_spec, random_view_pool
+from repro.core import make_view
+from repro.dvs import dvs_spec_invariants
+from repro.ioa import run_random
+
+UNIVERSE = ["p1", "p2", "p3", "p4"]
+V0 = make_view(0, UNIVERSE[:3])
+POOL = random_view_pool(UNIVERSE, 6, seed=23, min_size=2)
+WEIGHTS = {"dvs_createview": 0.15, "dvs_newview": 0.7, "dvs_register": 1.5}
+STEPS = 400
+
+
+def _run(seed=0):
+    system, _ = build_closed_dvs_spec(
+        V0, UNIVERSE, view_pool=POOL, budget=3, eager_register=True
+    )
+    return run_random(system, STEPS, seed=seed, weights=WEIGHTS)
+
+
+def test_bench_dvs_execution(benchmark):
+    """Steps of the DVS spec automaton per benchmark round."""
+    execution = benchmark(_run)
+    assert len(execution) > 50
+
+
+def test_bench_dvs_intersection_invariant(benchmark):
+    """Invariants 4.1 + 4.2 checked on every state of a run."""
+    execution = _run()
+    suite = dvs_spec_invariants()
+
+    def check():
+        count = 0
+        for state in execution.states():
+            suite.check_state(state.part("dvs"))
+            count += 1
+        return count
+
+    states = benchmark(check)
+    assert states == len(execution) + 1
+
+
+def test_bench_dvs_createview_precondition(benchmark):
+    """The primary-view admission test itself (Figure 2 precondition),
+    evaluated against a state with many created views."""
+    from repro.ioa import act
+
+    system, _ = build_closed_dvs_spec(
+        V0, UNIVERSE, view_pool=POOL, budget=3, eager_register=True
+    )
+    execution = _run(seed=3)
+    dvs = system.component("dvs")
+    state = execution.final_state.part("dvs")
+    candidate = make_view(99, {"p1", "p2"})
+
+    def admission():
+        return dvs.pre_dvs_createview(state, candidate)
+
+    benchmark(admission)

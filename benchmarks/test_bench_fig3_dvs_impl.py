@@ -1,0 +1,81 @@
+"""E3 -- Figure 3 (VS-TO-DVS / DVS-IMPL): execution and invariant costs.
+
+Regenerates DVS-IMPL behaviour under a churn adversary and measures:
+stepping throughput of the full composition, per-state cost of the
+Section 5.2 invariant suite (5.1-5.6), and the message cost of a view
+change (info + registered messages per attempted view).
+"""
+
+from repro.analysis import render_table
+from repro.checking import build_closed_dvs_impl, random_view_pool
+from repro.core import make_view
+from repro.dvs import dvs_impl_invariants
+from repro.ioa import run_random
+
+UNIVERSE = ["p1", "p2", "p3", "p4"]
+V0 = make_view(0, UNIVERSE[:3])
+POOL = random_view_pool(UNIVERSE, 5, seed=7, min_size=2)
+WEIGHTS = {
+    "vs_createview": 0.2,
+    "vs_newview": 1.0,
+    "dvs_newview": 2.0,
+    "dvs_register": 2.0,
+    "dvs_garbage_collect": 1.5,
+}
+STEPS = 500
+
+
+def _run(seed=0):
+    system, procs = build_closed_dvs_impl(
+        V0, UNIVERSE, view_pool=POOL, budget=2
+    )
+    return run_random(system, STEPS, seed=seed, weights=WEIGHTS), procs
+
+
+def test_bench_dvs_impl_execution(benchmark):
+    """Steps of the DVS-IMPL composition per benchmark round."""
+    execution, _ = benchmark(_run)
+    assert len(execution) > 50
+
+
+def test_bench_dvs_impl_invariants(benchmark):
+    """Invariants 5.1-5.6 checked on every state of a run."""
+    execution, procs = _run()
+    suite = dvs_impl_invariants(procs)
+    states = benchmark(lambda: suite.check_execution(execution))
+    assert states == len(execution) + 1
+
+
+def test_bench_view_change_message_cost(benchmark):
+    """Protocol messages spent per attempted view (the view-change cost
+    the paper's algorithm adds on top of VS)."""
+
+    def measure():
+        execution, _ = _run(seed=4)
+        actions = execution.actions()
+        from repro.core.messages import InfoMsg, RegisteredMsg
+
+        info = sum(
+            1
+            for a in actions
+            if a.name == "vs_gpsnd" and isinstance(a.params[0], InfoMsg)
+        )
+        registered = sum(
+            1
+            for a in actions
+            if a.name == "vs_gpsnd"
+            and isinstance(a.params[0], RegisteredMsg)
+        )
+        attempts = sum(1 for a in actions if a.name == "dvs_newview")
+        return info, registered, max(attempts, 1)
+
+    info, registered, attempts = benchmark(measure)
+    print()
+    print(
+        render_table(
+            ["info msgs", "registered msgs", "attempts", "msgs/attempt"],
+            [[info, registered, attempts,
+              "{0:.1f}".format((info + registered) / attempts)]],
+            title="E3: view-change message cost (one 500-step run)",
+        )
+    )

@@ -1,0 +1,78 @@
+"""E5 -- Figure 5 (DVS-TO-TO / TO-IMPL): broadcast and recovery costs.
+
+Regenerates TO-IMPL behaviour and measures: stepping throughput, the
+Section 6.2 invariant suite, the Theorem 6.4 refinement check, and the
+recovery cost (events from a DVS-NEWVIEW to establishment).
+"""
+
+from repro.analysis import render_table
+from repro.checking import build_closed_to_impl, random_view_pool
+from repro.core import make_view
+from repro.ioa import run_random
+from repro.to import to_impl_invariants, to_refinement_checker
+
+UNIVERSE = ["p1", "p2", "p3"]
+V0 = make_view(0, UNIVERSE)
+POOL = random_view_pool(UNIVERSE, 3, seed=19, min_size=2)
+WEIGHTS = {"dvs_createview": 0.06, "dvs_newview": 0.5, "bcast": 1.0}
+
+
+def _run(seed=0, steps=1500):
+    system, procs = build_closed_to_impl(
+        V0, UNIVERSE, view_pool=POOL, budget=3
+    )
+    return run_random(system, steps, seed=seed, weights=WEIGHTS), procs
+
+
+def test_bench_to_impl_execution(benchmark):
+    execution, _ = benchmark(_run)
+    assert len(execution) > 100
+
+
+def test_bench_to_impl_invariants(benchmark):
+    execution, procs = _run()
+    suite = to_impl_invariants(procs)
+    states = benchmark(lambda: suite.check_execution(execution))
+    assert states == len(execution) + 1
+
+
+def test_bench_theorem_6_4_check(benchmark):
+    execution, procs = _run(steps=800)
+    checker = to_refinement_checker(procs)
+    total = benchmark(lambda: checker.check_execution(execution))
+    assert total >= 0
+
+
+def test_bench_broadcast_delivery_cost(benchmark):
+    """System events consumed per delivered payload, and recovery share."""
+
+    def measure():
+        execution, _ = _run(seed=2, steps=3000)
+        actions = execution.actions()
+        deliveries = sum(1 for a in actions if a.name == "brcv")
+        from repro.to.summaries import Summary
+
+        summary_msgs = sum(
+            1
+            for a in actions
+            if a.name == "dvs_gpsnd" and isinstance(a.params[0], Summary)
+        )
+        views = sum(1 for a in actions if a.name == "dvs_newview")
+        return len(actions), deliveries, summary_msgs, views
+
+    total, deliveries, summaries, views = benchmark(measure)
+    print()
+    print(
+        render_table(
+            ["events", "brcv", "events/brcv", "summaries", "views"],
+            [[
+                total,
+                deliveries,
+                "{0:.1f}".format(total / max(deliveries, 1)),
+                summaries,
+                views,
+            ]],
+            title="E5: end-to-end broadcast cost (one 3000-step run)",
+        )
+    )
+    assert deliveries > 0

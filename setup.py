@@ -1,0 +1,7 @@
+"""Legacy shim so that ``pip install -e .`` works without the ``wheel``
+package (this environment is offline).  All real metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Running primary trackers over connectivity scenarios (experiment E6)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AvailabilityResult:
+    """Summary of one tracker over one scenario."""
+
+    name: str
+    steps: int
+    steps_with_primary: int
+    primaries_formed: int
+    disjoint_incidents: int
+
+    @property
+    def availability(self):
+        return self.steps_with_primary / self.steps if self.steps else 0.0
+
+    def row(self):
+        return [
+            self.name,
+            "{0:.3f}".format(self.availability),
+            str(self.primaries_formed),
+            str(self.disjoint_incidents),
+        ]
+
+
+def run_tracker(name, tracker, scenario):
+    """Feed every configuration of ``scenario`` to ``tracker``."""
+    formed = 0
+    for configuration in scenario:
+        formed += len(tracker.observe(configuration))
+    return AvailabilityResult(
+        name=name,
+        steps=len(scenario),
+        steps_with_primary=tracker.steps_with_primary,
+        primaries_formed=formed,
+        disjoint_incidents=tracker.disjoint_primary_incidents(),
+    )
+
+
+def compare_trackers(named_trackers, scenario):
+    """Run several trackers over the *same* scenario; return results.
+
+    ``named_trackers`` is an iterable of (name, tracker) pairs.  Trackers
+    are stateful and single-use; build fresh ones per comparison.
+    """
+    return [
+        run_tracker(name, tracker, scenario)
+        for name, tracker in named_trackers
+    ]

@@ -1,0 +1,144 @@
+"""Statistics over executions and traces.
+
+Used by the benchmark harness and the examples to report what a run
+actually did: action mixes, view lifecycle (proposed/attempted/registered),
+per-view delivery counts, and time-to-primary measurements for the runtime
+cluster.
+"""
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ViewLifecycle:
+    """What happened to one view across a run."""
+
+    view: object
+    reported_to: set = field(default_factory=set)
+    registered_by: set = field(default_factory=set)
+    deliveries: int = 0
+
+    @property
+    def totally_attempted(self):
+        return self.view.set <= self.reported_to
+
+    @property
+    def totally_registered(self):
+        return self.view.set <= self.registered_by
+
+
+def action_mix(actions):
+    """Counter of action names."""
+    return Counter(a.name for a in actions)
+
+
+def view_lifecycles(trace, initial_view, prefix="dvs"):
+    """Per-view lifecycle extracted from a service trace."""
+    lifecycles = {initial_view: ViewLifecycle(initial_view)}
+    lifecycles[initial_view].reported_to = set(initial_view.set)
+    lifecycles[initial_view].registered_by = set(initial_view.set)
+    current = {p: initial_view for p in initial_view.set}
+    for action in trace:
+        if action.name == prefix + "_newview":
+            view, p = action.params
+            lifecycles.setdefault(view, ViewLifecycle(view))
+            lifecycles[view].reported_to.add(p)
+            current[p] = view
+        elif action.name == prefix + "_register":
+            (p,) = action.params
+            view = current.get(p)
+            if view is not None:
+                lifecycles[view].registered_by.add(p)
+        elif action.name == prefix + "_gprcv":
+            _, _, p = action.params
+            view = current.get(p)
+            if view is not None:
+                lifecycles[view].deliveries += 1
+    return lifecycles
+
+
+@dataclass
+class RunStats:
+    """Aggregated statistics of a service trace."""
+
+    actions: Dict[str, int]
+    views_reported: int
+    views_totally_attempted: int
+    views_totally_registered: int
+    deliveries: int
+    safes: int
+
+    def rows(self):
+        return [
+            ["actions", sum(self.actions.values())],
+            ["views reported", self.views_reported],
+            ["views totally attempted", self.views_totally_attempted],
+            ["views totally registered", self.views_totally_registered],
+            ["client deliveries", self.deliveries],
+            ["safe indications", self.safes],
+        ]
+
+
+def summarize_trace(trace, initial_view, prefix="dvs"):
+    """Build :class:`RunStats` from a service trace."""
+    mix = action_mix(trace)
+    lifecycles = view_lifecycles(trace, initial_view, prefix)
+    reported = [
+        lc for lc in lifecycles.values() if lc.reported_to
+    ]
+    return RunStats(
+        actions=dict(mix),
+        views_reported=len(reported),
+        views_totally_attempted=sum(
+            1 for lc in reported if lc.totally_attempted
+        ),
+        views_totally_registered=sum(
+            1 for lc in reported if lc.totally_registered
+        ),
+        deliveries=mix.get(prefix + "_gprcv", 0),
+        safes=mix.get(prefix + "_safe", 0),
+    )
+
+
+def delivery_latencies(cluster):
+    """Simulated-time broadcast-to-delivery latencies from a cluster log.
+
+    Pairs each ``bcast`` with the ``brcv`` of the same payload at each
+    process using the action log's timestamps.  Returns a list of
+    ``(payload, process, latency)`` tuples; requires distinct payloads.
+    """
+    send_times = {}
+    latencies = []
+    for time, action in cluster.log.timed_actions():
+        if action.name == "bcast":
+            send_times.setdefault(action.params[0], time)
+        elif action.name == "brcv":
+            payload, _, pid = action.params
+            if payload in send_times:
+                latencies.append(
+                    (payload, pid, time - send_times[payload])
+                )
+    return latencies
+
+
+def delivery_completeness(cluster):
+    """Fraction of (broadcast, process) pairs delivered by end of run."""
+    delivered = defaultdict(set)
+    broadcasts = set()
+    for action in cluster.log.actions:
+        if action.name == "bcast":
+            broadcasts.add(action.params[0])
+        elif action.name == "brcv":
+            delivered[action.params[2]].add(action.params[0])
+    total = len(broadcasts) * len(cluster.processes)
+    if total == 0:
+        return 1.0
+    done = sum(
+        1
+        for payload in broadcasts
+        for pid in cluster.processes
+        if payload in delivered[pid]
+    )
+    return done / total

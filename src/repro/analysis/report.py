@@ -1,0 +1,24 @@
+"""Plain-text table rendering for benchmark and experiment output."""
+
+
+def render_table(headers, rows, title=None):
+    """Render an aligned ASCII table; returns the string."""
+    headers = [str(h) for h in headers]
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rows)
+    return "\n".join(parts)

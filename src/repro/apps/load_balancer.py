@@ -1,0 +1,116 @@
+"""A primary-aware work dispatcher (the Section 7 "load-balancing" app).
+
+Tasks are submitted anywhere and broadcast through TO; because every
+replica sees the same task sequence and the same primary-view history,
+they deterministically agree on the assignment: task k announced while
+primary view v is current goes to the member of v at position
+``k mod |v|`` (in sorted order).  No extra coordination messages are
+needed -- agreement on assignments is inherited from the total order.
+
+During a partition, only the primary side dispatches; the minority's
+submissions queue (inside TO) and are assigned after the merge.
+"""
+
+from repro.gcs.to_layer import ToListener
+
+
+class LoadBalancer(ToListener):
+    """One node's view of the replicated dispatcher."""
+
+    def __init__(self, to_layer, dvs_layer):
+        self.to = to_layer
+        self.dvs = dvs_layer
+        self.pid = to_layer.pid
+        to_layer.listener = self
+        #: Deterministically agreed assignment: task -> worker.
+        self.assignments = {}
+        #: Tasks assigned to *this* node, in order.
+        self.my_tasks = []
+        self._dispatched = 0
+
+    def submit(self, task):
+        """Submit a task from this node; it is assigned in total order.
+
+        The submitter's current primary membership rides in the message:
+        every node then computes the assignment from the *same* data (the
+        total order position and the embedded membership), so agreement
+        needs no further coordination.  A node that delivers the task
+        later -- e.g. a healed minority replaying the majority's history --
+        reaches the identical assignment.
+        """
+        view = self.to.current
+        members = tuple(sorted(view.set)) if view is not None else ()
+        self.to.bcast(("task", task, members))
+
+    def on_brcv(self, payload, origin):
+        kind, task, members = payload
+        if kind != "task" or not members:
+            return
+        worker = members[self._dispatched % len(members)]
+        self._dispatched += 1
+        self.assignments[task] = worker
+        if worker == self.pid:
+            self.my_tasks.append(task)
+
+
+class LoadBalancedCluster:
+    """A cluster of dispatchers over the full stack."""
+
+    def __init__(self, processes, seed=0):
+        from repro.gcs.cluster import Cluster
+
+        self.cluster = Cluster(processes, seed=seed)
+        self.balancers = {
+            pid: LoadBalancer(self.cluster.to[pid], self.cluster.dvs[pid])
+            for pid in self.cluster.processes
+        }
+
+    def start(self):
+        self.cluster.start()
+        return self
+
+    def run(self, duration):
+        self.cluster.run(duration)
+        return self
+
+    def settle(self, max_time=None):
+        self.cluster.settle(max_time=max_time)
+        return self
+
+    def partition(self, *groups):
+        self.cluster.partition(*groups)
+        return self
+
+    def heal(self):
+        self.cluster.heal()
+        return self
+
+    def submit(self, pid, task):
+        self.balancers[pid].submit(task)
+        return self
+
+    def balancer(self, pid):
+        return self.balancers[pid]
+
+    def agreed(self):
+        """Whether all nodes that assigned a task agree on its worker.
+
+        Nodes may lag (fewer assignments) but never conflict.
+        """
+        merged = {}
+        for balancer in self.balancers.values():
+            for task, worker in balancer.assignments.items():
+                if task in merged and merged[task] != worker:
+                    return False
+                merged[task] = worker
+        return True
+
+    def load(self):
+        """Tasks per worker, from the most advanced node's view."""
+        fullest = max(
+            self.balancers.values(), key=lambda b: len(b.assignments)
+        )
+        counts = {pid: 0 for pid in self.cluster.processes}
+        for worker in fullest.assignments.values():
+            counts[worker] = counts.get(worker, 0) + 1
+        return counts

@@ -1,0 +1,45 @@
+"""Replicated state machines over totally ordered broadcast.
+
+The construction is the textbook one: commands are broadcast through TO;
+every replica applies delivered commands, in delivery order, to a
+deterministic state machine.  Because TO delivers the same gap-free prefix
+of one total order everywhere, any two replicas' states are always states
+of the same command sequence -- one may merely lag the other.
+"""
+
+from repro.gcs.to_layer import ToListener
+
+
+class StateMachine:
+    """A deterministic state machine: override :meth:`apply`."""
+
+    def apply(self, command, origin):
+        """Apply ``command`` (issued at ``origin``); return a result."""
+        raise NotImplementedError
+
+
+class ReplicatedStateMachine(ToListener):
+    """One replica: a TO layer feeding a local state machine."""
+
+    def __init__(self, to_layer, machine):
+        self.to = to_layer
+        self.pid = to_layer.pid
+        self.machine = machine
+        self.applied = []
+        to_layer.listener = self
+
+    def submit(self, command):
+        """Issue a command; it takes effect when TO delivers it."""
+        self.to.bcast(command)
+
+    def on_brcv(self, command, origin):
+        result = self.machine.apply(command, origin)
+        self.applied.append((command, origin, result))
+
+    @property
+    def log_length(self):
+        return len(self.applied)
+
+    def command_log(self):
+        """The (command, origin) pairs applied so far, in order."""
+        return [(c, o) for c, o, _ in self.applied]

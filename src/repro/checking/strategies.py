@@ -1,0 +1,97 @@
+"""Reusable hypothesis strategies for protocol structures.
+
+These feed the property-based tests (tests/property/) and are part of the
+public checking API so downstream users can property-test their own
+applications over the stack.
+"""
+
+from hypothesis import strategies as st
+
+from repro.core.viewids import ViewId
+from repro.core.views import View
+from repro.to.summaries import Label, Summary
+
+DEFAULT_PROCS = ["p1", "p2", "p3", "p4", "p5"]
+
+
+def process_ids(procs=None):
+    return st.sampled_from(list(procs or DEFAULT_PROCS))
+
+
+def view_ids(max_epoch=10, origins=("", "a", "b", "c")):
+    return st.builds(
+        ViewId,
+        st.integers(min_value=0, max_value=max_epoch),
+        st.sampled_from(list(origins)),
+    )
+
+
+def memberships(procs=None, min_size=1):
+    return st.frozensets(process_ids(procs), min_size=min_size)
+
+
+def views(procs=None, max_epoch=10):
+    return st.builds(View, view_ids(max_epoch), memberships(procs))
+
+
+def increasing_view_pools(procs=None, max_views=6, min_size=1):
+    """Finite adversary pools with strictly increasing epochs."""
+    procs = list(procs or DEFAULT_PROCS)
+
+    def build(member_sets):
+        return [
+            View(ViewId(epoch + 1, ""), members)
+            for epoch, members in enumerate(member_sets)
+        ]
+
+    return st.lists(
+        memberships(procs, min_size=min_size), max_size=max_views
+    ).map(build)
+
+
+def labels(procs=None, max_epoch=4, max_seqno=4):
+    return st.builds(
+        Label,
+        view_ids(max_epoch, origins=("", "a")),
+        st.integers(min_value=1, max_value=max_seqno),
+        process_ids(procs),
+    )
+
+
+def summaries(procs=None, payloads=None):
+    payloads = payloads or st.integers(min_value=0, max_value=9)
+    return st.builds(
+        Summary,
+        st.frozensets(st.tuples(labels(procs), payloads), max_size=6),
+        st.lists(labels(procs), max_size=5, unique=True).map(tuple),
+        st.integers(min_value=1, max_value=6),
+        view_ids(4, origins=("", "a")),
+    )
+
+
+def gotstates(procs=None):
+    return st.dictionaries(
+        process_ids(procs), summaries(procs), min_size=1, max_size=4
+    )
+
+
+def configurations(procs=None, max_groups=3):
+    """One connectivity configuration: a partition of a subset of procs."""
+    procs = list(procs or DEFAULT_PROCS)
+
+    def to_partition(assignment):
+        groups = {}
+        for pid, group in assignment.items():
+            groups.setdefault(group, set()).add(pid)
+        return [frozenset(g) for g in groups.values()]
+
+    return st.dictionaries(
+        st.sampled_from(procs),
+        st.integers(min_value=0, max_value=max_groups - 1),
+        min_size=1,
+    ).map(to_partition)
+
+
+def scenarios(procs=None, max_steps=40):
+    """Connectivity histories for the membership trackers."""
+    return st.lists(configurations(procs), min_size=1, max_size=max_steps)

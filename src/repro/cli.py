@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+verify
+    Run randomized executions of DVS-IMPL and TO-IMPL, checking every
+    paper invariant and both refinement theorems; print a summary.
+availability
+    Print the E6 availability tables (static vs dynamic vs naive).
+explore
+    Exhaustively explore a small configuration with the bounded model
+    checker, checking the invariant suites on every reachable state.
+isis
+    Search DVS executions for a violation of the Isis same-messages
+    property (expected to exist: DVS is weaker by design).
+demo
+    Run the partitioned-ledger scenario on the simulated cluster.
+"""
+
+import argparse
+import sys
+
+
+def _cmd_verify(args):
+    from repro.checking import (
+        build_closed_dvs_impl,
+        build_closed_to_impl,
+        check_dvs_trace_properties,
+        check_to_trace_properties,
+        random_view_pool,
+    )
+    from repro.core import make_view
+    from repro.dvs import (
+        dvs_impl_invariants,
+        dvs_refinement_checker,
+    )
+    from repro.ioa import run_random
+    from repro.to import to_impl_invariants, to_refinement_checker
+
+    universe = ["p{0}".format(i) for i in range(1, args.processes + 1)]
+    v0 = make_view(0, universe)
+    checked_states = 0
+    for seed in range(args.seeds):
+        pool = random_view_pool(universe, 4, seed=seed + 7, min_size=2)
+        system, procs = build_closed_dvs_impl(
+            v0, universe, view_pool=pool, budget=2
+        )
+        ex = run_random(system, args.steps, seed=seed,
+                        weights={"vs_createview": 0.15})
+        checked_states += dvs_impl_invariants(procs).check_execution(ex)
+        dvs_refinement_checker(procs, v0, universe).check_execution(ex)
+        check_dvs_trace_properties(ex.trace(), v0)
+
+        system, procs = build_closed_to_impl(
+            v0, universe, view_pool=pool, budget=2
+        )
+        ex = run_random(system, args.steps, seed=seed,
+                        weights={"dvs_createview": 0.08})
+        checked_states += to_impl_invariants(procs).check_execution(ex)
+        to_refinement_checker(procs).check_execution(ex)
+        check_to_trace_properties(ex.trace())
+    print(
+        "OK: invariants 5.1-5.6 and 6.1-6.3, Theorems 5.9 and 6.4, and "
+        "all trace properties verified on {0} states "
+        "({1} seeds x {2} steps, {3} processes)".format(
+            checked_states, args.seeds, args.steps, args.processes
+        )
+    )
+    return 0
+
+
+def _cmd_availability(args):
+    from repro.analysis import (
+        compare_trackers,
+        drifting_population,
+        random_churn,
+        render_table,
+    )
+    from repro.core import make_view
+    from repro.membership import (
+        DynamicVotingTracker,
+        NaiveDynamicTracker,
+        StaticMajorityTracker,
+    )
+
+    universe = ["p{0}".format(i) for i in range(1, args.processes + 1)]
+    v0 = make_view(0, universe)
+    headers = ["rule", "availability", "primaries", "disjoint"]
+
+    fixed = random_churn(universe, args.steps, seed=args.seed,
+                         partition_prob=0.5)
+    results = compare_trackers(
+        [
+            ("static majority", StaticMajorityTracker(v0)),
+            ("dynamic voting (DVS)", DynamicVotingTracker(v0)),
+        ],
+        fixed,
+    )
+    print(render_table(headers, [r.row() for r in results],
+                       title="fixed population"))
+
+    drift = drifting_population(universe, args.steps, seed=args.seed)
+    results = compare_trackers(
+        [
+            ("static majority", StaticMajorityTracker(v0)),
+            ("dynamic voting (DVS)", DynamicVotingTracker(v0)),
+        ],
+        drift,
+    )
+    print()
+    print(render_table(headers, [r.row() for r in results],
+                       title="drifting population"))
+
+    churn = random_churn(universe, args.steps, seed=args.seed,
+                         partition_prob=0.7)
+    results = compare_trackers(
+        [
+            ("naive dynamic",
+             NaiveDynamicTracker(v0, failure_prob=0.4, seed=args.seed)),
+            ("dynamic voting (DVS)",
+             DynamicVotingTracker(v0, register_lag=1, failure_prob=0.4,
+                                  seed=args.seed)),
+        ],
+        churn,
+    )
+    print()
+    print(render_table(headers, [r.row() for r in results],
+                       title="interrupted formations"))
+    return 0
+
+
+def _cmd_explore(args):
+    from repro.checking import build_closed_dvs_impl, grid_view_pool
+    from repro.core import make_view
+    from repro.dvs import dvs_impl_invariants
+    from repro.ioa import BoundedExplorer
+
+    universe = ["p{0}".format(i) for i in range(1, args.processes + 1)]
+    v0 = make_view(0, universe)
+    pool = grid_view_pool(universe, max_epoch=args.epochs,
+                          min_size=len(universe))
+    system, procs = build_closed_dvs_impl(
+        v0, universe, view_pool=pool, budget=1, eager_register=True
+    )
+    explorer = BoundedExplorer(
+        system,
+        invariants=dvs_impl_invariants(procs),
+        max_states=args.max_states,
+    )
+    result = explorer.explore()
+    print("exploration:", result.summary())
+    if result.violation is not None:
+        print("VIOLATION:", result.violation)
+        return 1
+    print("all invariants hold on every explored state")
+    return 0
+
+
+def _cmd_isis(args):
+    from repro.checking.isis_property import find_isis_counterexample
+
+    result = find_isis_counterexample(
+        max_seeds=args.seeds, steps=args.steps
+    )
+    if result is None:
+        print("no Isis-property violation found in budget")
+        return 1
+    seed, violations, _ = result
+    print(
+        "DVS does not provide the Isis same-messages property "
+        "(seed {0}, {1} violation(s)):".format(seed, len(violations))
+    )
+    for violation in violations[:3]:
+        print("  -", violation)
+    return 0
+
+
+def _cmd_demo(args):
+    import examples.partitioned_ledger as demo  # noqa: F401 - optional
+
+    demo.main()
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Dynamic View-Oriented Group Communication "
+            "Service' (PODC 1998)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="check invariants and theorems")
+    verify.add_argument("--seeds", type=int, default=3)
+    verify.add_argument("--steps", type=int, default=800)
+    verify.add_argument("--processes", type=int, default=3)
+    verify.set_defaults(func=_cmd_verify)
+
+    availability = sub.add_parser(
+        "availability", help="print the E6 availability tables"
+    )
+    availability.add_argument("--steps", type=int, default=400)
+    availability.add_argument("--seed", type=int, default=3)
+    availability.add_argument("--processes", type=int, default=7)
+    availability.set_defaults(func=_cmd_availability)
+
+    explore = sub.add_parser(
+        "explore", help="bounded exhaustive exploration"
+    )
+    explore.add_argument("--processes", type=int, default=2)
+    explore.add_argument("--epochs", type=int, default=1)
+    explore.add_argument("--max-states", type=int, default=60000)
+    explore.set_defaults(func=_cmd_explore)
+
+    isis = sub.add_parser(
+        "isis", help="find an Isis same-messages violation"
+    )
+    isis.add_argument("--seeds", type=int, default=20)
+    isis.add_argument("--steps", type=int, default=2500)
+    isis.set_defaults(func=_cmd_isis)
+
+    demo = sub.add_parser("demo", help="partitioned-ledger demo")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

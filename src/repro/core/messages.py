@@ -1,0 +1,79 @@
+"""Message universes.
+
+The paper uses ``M_c`` for client messages and, inside the implementation,
+``M = M_c ∪ ({"info"} × V × 2^V) ∪ {"registered"}``.  Client messages are
+arbitrary hashable Python values; the implementation's tagged non-client
+messages are the two dataclasses below.  :func:`is_client_message`
+implements the ``purge`` test of the refinement (Figure 4), which deletes
+exactly the "info" and "registered" messages.
+"""
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.core.views import View
+
+
+class ProtocolMsg:
+    """Marker base class for non-client (implementation) messages.
+
+    Anything inheriting from this is removed by the refinement's
+    ``purge`` and is invisible to clients.  Extensions (e.g. the SX-DVS
+    "state" messages) subclass this to ride over VS without polluting the
+    client message universe ``M_c``.
+    """
+
+
+@dataclass(frozen=True)
+class InfoMsg(ProtocolMsg):
+    """The ``<"info", act, amb>`` message of ``VS-TO-DVS_p`` (Figure 3)."""
+
+    act: View
+    amb: FrozenSet[View] = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        if not isinstance(self.amb, frozenset):
+            object.__setattr__(self, "amb", frozenset(self.amb))
+
+    def __str__(self):
+        return "info(act={0}, amb={{{1}}})".format(
+            self.act, ",".join(sorted(str(v) for v in self.amb))
+        )
+
+
+@dataclass(frozen=True)
+class RegisteredMsg(ProtocolMsg):
+    """The ``<"registered">`` message of ``VS-TO-DVS_p`` (Figure 3)."""
+
+    def __str__(self):
+        return "registered"
+
+
+def is_client_message(message):
+    """Whether ``message ∈ M_c`` (i.e. survives the refinement's purge)."""
+    return not isinstance(message, ProtocolMsg)
+
+
+def purge(queue):
+    """Delete "info"/"registered" entries (Figure 4).
+
+    Works both on plain message sequences and on sequences of
+    ``(message, sender)`` pairs, matching the two shapes the refinement
+    applies it to (``pending``/``msgs-to-vs`` vs ``queue``).
+    """
+    result = []
+    for entry in queue:
+        message = entry[0] if isinstance(entry, tuple) else entry
+        if is_client_message(message):
+            result.append(entry)
+    return result
+
+
+def purgesize(queue):
+    """The number of "info"/"registered" entries in ``queue`` (Figure 4)."""
+    count = 0
+    for entry in queue:
+        message = entry[0] if isinstance(entry, tuple) else entry
+        if not is_client_message(message):
+            count += 1
+    return count

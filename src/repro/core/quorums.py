@@ -1,0 +1,75 @@
+"""Quorum systems for static primary definitions.
+
+The paper (Section 1) contrasts the *static* notion of primary -- a view
+whose membership comprises a majority of a fixed universe, or more
+generally a quorum in a predefined quorum set in which all pairs of quorums
+intersect -- with the *dynamic* notion that DVS specifies.  These classes
+implement the static notion; they are the baseline in the availability
+experiments (E6) and in the static-primary comparison application.
+"""
+
+from abc import ABC, abstractmethod
+
+
+class QuorumSystem(ABC):
+    """A predicate selecting the primary-capable membership sets."""
+
+    @abstractmethod
+    def is_quorum(self, members):
+        """Whether ``members`` (an iterable of process ids) is a quorum."""
+
+    def check_intersection(self, candidate_sets):
+        """Verify the defining pairwise-intersection property on samples.
+
+        Utility for tests: every pair of quorums among ``candidate_sets``
+        must intersect.
+        """
+        quorums = [frozenset(s) for s in candidate_sets if self.is_quorum(s)]
+        for i, a in enumerate(quorums):
+            for b in quorums[i + 1:]:
+                if not (a & b):
+                    return False
+        return True
+
+
+class MajorityQuorums(QuorumSystem):
+    """Majorities of a fixed universe: ``|S| > |universe| / 2``."""
+
+    def __init__(self, universe):
+        self.universe = frozenset(universe)
+        if not self.universe:
+            raise ValueError("the universe must be nonempty")
+
+    def is_quorum(self, members):
+        members = frozenset(members) & self.universe
+        return len(members) * 2 > len(self.universe)
+
+    def __repr__(self):
+        return "MajorityQuorums({0} processes)".format(len(self.universe))
+
+
+class WeightedMajorityQuorums(QuorumSystem):
+    """Weighted voting: a quorum holds strictly more than half the weight.
+
+    Generalizes :class:`MajorityQuorums`; all pairs of quorums intersect
+    because two disjoint sets cannot both exceed half the total weight.
+    """
+
+    def __init__(self, weights):
+        self.weights = dict(weights)
+        if not self.weights:
+            raise ValueError("weights must be nonempty")
+        if any(w < 0 for w in self.weights.values()):
+            raise ValueError("weights must be nonnegative")
+        self.total = sum(self.weights.values())
+        if self.total <= 0:
+            raise ValueError("total weight must be positive")
+
+    def is_quorum(self, members):
+        weight = sum(self.weights.get(p, 0) for p in set(members))
+        return weight * 2 > self.total
+
+    def __repr__(self):
+        return "WeightedMajorityQuorums({0} processes)".format(
+            len(self.weights)
+        )

@@ -1,0 +1,64 @@
+"""The sequence calculus of paper Section 2.
+
+Sequences are represented as Python lists (inside mutable automaton states)
+or tuples (inside messages and summaries); all functions accept both.  The
+paper's 1-based indexing ``a(i)`` is provided by :func:`nth` for the places
+where the off-by-one matters (the ``queue[g](next[q,g])`` lookups).
+"""
+
+
+def is_prefix(a, b):
+    """``a ≤ b``: there exists c with a + c = b."""
+    a = list(a)
+    b = list(b)
+    return len(a) <= len(b) and b[: len(a)] == a
+
+
+def is_consistent(collection):
+    """A collection of sequences is consistent when pairwise prefix-related."""
+    seqs = [list(s) for s in collection]
+    for i, a in enumerate(seqs):
+        for b in seqs[i + 1:]:
+            if not (is_prefix(a, b) or is_prefix(b, a)):
+                return False
+    return True
+
+
+def lub(collection):
+    """The least upper bound of a consistent collection of sequences.
+
+    Raises ``ValueError`` when the collection is not consistent.
+    """
+    seqs = [list(s) for s in collection]
+    if not seqs:
+        return []
+    if not is_consistent(seqs):
+        raise ValueError("lub of an inconsistent collection")
+    return max(seqs, key=len)
+
+
+def applytoall(f, a):
+    """Pointwise application: ``b(i) = f(a(i))`` (paper Section 2)."""
+    return [f(x) for x in a]
+
+
+def nth(a, i):
+    """1-based indexing ``a(i)``; returns ``None`` when out of range.
+
+    The automata use lookups like ``queue[g](next[q,g]) = <m, p>`` as
+    preconditions; returning ``None`` out of range makes those
+    preconditions simply false rather than errors.
+    """
+    if 1 <= i <= len(a):
+        return a[i - 1]
+    return None
+
+
+def head(a):
+    """The head ``a(1)`` of a nonempty sequence, else ``None``."""
+    return a[0] if a else None
+
+
+def remove_head(a):
+    """Queue ``remove``: delete and return the head of a mutable list."""
+    return a.pop(0)

@@ -1,0 +1,61 @@
+"""Views: ``v = <g, P>`` with selectors ``v.id`` and ``v.set``.
+
+A view pairs a view identifier with a nonempty membership set (paper
+Section 2).  Views are immutable and hashable so that they can live in the
+``created`` / ``attempted`` sets of the automata and be used as dictionary
+keys.
+"""
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.core.viewids import ViewId
+
+
+@dataclass(frozen=True)
+class View:
+    """A view ``<g, P>``; ``members`` must be nonempty."""
+
+    id: ViewId
+    members: FrozenSet[str] = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        if not isinstance(self.members, frozenset):
+            object.__setattr__(self, "members", frozenset(self.members))
+        if not self.members:
+            raise ValueError("a view's membership set must be nonempty")
+
+    @property
+    def set(self):
+        """Alias matching the paper's ``v.set`` selector."""
+        return self.members
+
+    def majority_of(self, other):
+        """``|self.set ∩ other.set| > |other.set| / 2``.
+
+        The local check performed by ``VS-TO-DVS_p`` before attempting a
+        view (Figure 3): the new view must contain a majority of every view
+        in ``use``.
+        """
+        return len(self.members & other.members) * 2 > len(other.members)
+
+    def intersects(self, other):
+        """``self.set ∩ other.set ≠ {}`` (the global DVS requirement)."""
+        return bool(self.members & other.members)
+
+    def __str__(self):
+        return "<{0},{{{1}}}>".format(self.id, ",".join(sorted(self.members)))
+
+    def __repr__(self):
+        return str(self)
+
+
+def make_view(vid, members):
+    """Construct a view from any identifier-like and iterable of members.
+
+    ``vid`` may be a :class:`ViewId` or a bare epoch integer (convenient in
+    tests: ``make_view(3, "abc")`` with single-character process names).
+    """
+    if not isinstance(vid, ViewId):
+        vid = ViewId(int(vid))
+    return View(vid, frozenset(members))

@@ -1,0 +1,121 @@
+"""Ablated variants of ``VS-TO-DVS_p`` (experiment E7).
+
+The paper's algorithm rests on three local mechanisms:
+
+1. the *majority* intersection check against every view in ``use``
+   (not mere nonempty intersection);
+2. waiting for "info" messages from *all* other members before attempting;
+3. advancing ``act`` only on *registration* evidence (all members'
+   "registered" messages), not on mere attempts.
+
+Each class below removes exactly one mechanism.  The ablation experiments
+show that randomized executions then violate the DVS safety properties
+(Invariant 4.1 / Invariant 5.6 -- disjoint concurrent primaries), while the
+faithful algorithm never does.  This demonstrates that the paper's
+invariants are not vacuous and that its preconditions are all necessary.
+
+``StaticMajorityFilter`` is not an ablation but the *static* baseline: it
+accepts a view iff the view contains a majority of the fixed universe.  It
+is safe but needlessly unavailable once the population drifts -- the
+quantitative comparison is experiment E6.
+"""
+
+from repro.core.viewids import vid_gt
+from repro.dvs.vs_to_dvs import VsToDvs, use_views
+
+
+class NoMajorityCheckVsToDvs(VsToDvs):
+    """Ablation 1: require only nonempty intersection with ``use``.
+
+    The local check is supposed to *imply* the global nonempty-intersection
+    property (the key to Invariant 5.5's proof: two majorities of the same
+    earlier view must meet).  Weakening it to local nonempty intersection
+    breaks the implication: two chains of views can thin each other out
+    until two disjoint "primaries" coexist.
+    """
+
+    def pre_dvs_newview(self, state, v, p):
+        if state.cur is None or v != state.cur:
+            return False
+        client_id = None if state.client_cur is None else state.client_cur.id
+        if not vid_gt(v.id, client_id):
+            return False
+        for q in v.set:
+            if q != self.pid and state.info_rcvd.get((q, v.id)) is None:
+                return False
+        return all(v.intersects(w) for w in use_views(state))
+
+
+class NoInfoWaitVsToDvs(VsToDvs):
+    """Ablation 2: attempt views without collecting everyone's "info".
+
+    Without hearing from all members, ``use`` may miss attempted views that
+    other members know about, so the majority check is run against stale
+    knowledge.
+    """
+
+    def pre_dvs_newview(self, state, v, p):
+        if state.cur is None or v != state.cur:
+            return False
+        client_id = None if state.client_cur is None else state.client_cur.id
+        if not vid_gt(v.id, client_id):
+            return False
+        return all(v.majority_of(w) for w in use_views(state))
+
+
+class EagerGarbageCollectVsToDvs(VsToDvs):
+    """Ablation 3: garbage-collect on attempt evidence, not registration.
+
+    ``act`` may advance as soon as the view is the process's own current
+    client view, without waiting for all members' "registered" messages.
+    Earlier views then stop being checked before the application has
+    actually extracted their state, so a later view may miss information
+    flow from a still-active older primary.
+    """
+
+    def pre_dvs_garbage_collect(self, state, v, p):
+        return (
+            state.client_cur is not None
+            and v == state.client_cur
+            and vid_gt(v.id, state.act.id)
+        )
+
+    def cand_dvs_garbage_collect(self, state):
+        from repro.ioa.action import act as make_action
+
+        if state.client_cur is not None and self.pre_dvs_garbage_collect(
+            state, state.client_cur, self.pid
+        ):
+            yield make_action(
+                "dvs_garbage_collect", state.client_cur, self.pid
+            )
+
+
+class StaticMajorityFilter(VsToDvs):
+    """Baseline: the *static* notion of primary (Section 1).
+
+    A view is accepted iff it contains a strict majority of the fixed
+    universe.  Safe (any two majorities of the same universe intersect)
+    but blind to population drift: once more than half the original
+    universe has permanently departed, no view is ever primary again.
+    """
+
+    def __init__(self, pid, initial_view, universe=None, name=None):
+        super().__init__(pid, initial_view, name=name)
+        self.static_universe = frozenset(
+            universe if universe is not None else initial_view.set
+        )
+
+    def pre_dvs_newview(self, state, v, p):
+        if state.cur is None or v != state.cur:
+            return False
+        client_id = None if state.client_cur is None else state.client_cur.id
+        if not vid_gt(v.id, client_id):
+            return False
+        for q in v.set:
+            if q != self.pid and state.info_rcvd.get((q, v.id)) is None:
+                return False
+        majority = len(v.set & self.static_universe) * 2 > len(
+            self.static_universe
+        )
+        return majority

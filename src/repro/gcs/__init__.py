@@ -1,0 +1,39 @@
+"""A runnable group-communication stack on the network simulator.
+
+The paper's algorithms are specified as I/O automata over an abstract VS
+service.  This package is the *system* coding of the same stack: concrete
+protocol nodes exchanging messages over :class:`repro.net.Network`:
+
+- :mod:`repro.gcs.vs_stack` -- a view-synchronous service implementation:
+  coordinator-based membership (epoch collection + install) and per-view
+  sequencer total order with all-ack stability, providing the VS interface
+  (``gpsnd`` down; ``newview`` / ``gprcv`` / ``safe`` up);
+- :mod:`repro.gcs.dvs_layer` -- the runtime coding of ``VS-TO-DVS_p``
+  (dynamic primary filtering with info exchange, majority checks,
+  registration and garbage collection);
+- :mod:`repro.gcs.to_layer` -- the runtime coding of ``DVS-TO-TO_p``
+  (labelling, tentative order, confirmation, state-exchange recovery);
+- :mod:`repro.gcs.recorder` -- converts the stack's events into the same
+  action vocabulary as the automata, so the trace-property checkers apply
+  verbatim to stack runs.
+
+The stack's view changes are triggered by the simulator's connectivity
+oracle (a perfect failure detector); this substitutes for timeout-based
+detection and affects liveness/timing only, never the safety properties
+checked by the test suite.
+"""
+
+from repro.gcs.dvs_layer import DvsLayer, DvsListener
+from repro.gcs.recorder import ActionLog
+from repro.gcs.to_layer import ToLayer, ToListener
+from repro.gcs.vs_stack import VsListener, VsStackNode
+
+__all__ = [
+    "ActionLog",
+    "DvsLayer",
+    "DvsListener",
+    "ToLayer",
+    "ToListener",
+    "VsListener",
+    "VsStackNode",
+]

@@ -1,0 +1,213 @@
+"""The runtime coding of ``VS-TO-DVS_p`` (dynamic primary filtering).
+
+Functionally the same algorithm as :class:`repro.dvs.vs_to_dvs.VsToDvs`,
+recast from an I/O automaton into an event-driven layer over
+:class:`repro.gcs.vs_stack.VsStackNode`:
+
+- on every VS view, exchange "info" messages carrying ``(act, amb)``;
+- attempt the view (report it to the application as a *primary*) only
+  after hearing from every other member and only if it majority-intersects
+  every view in ``use = {act} ∪ amb``;
+- on application registration, multicast "registered"; once every member
+  of a view has registered it, advance ``act`` to it and prune ``amb``
+  (garbage collection).
+
+Buffering differences from the automaton are only about *when* queued work
+happens (the automaton defers via explicit queues and scheduler choice;
+the layer acts at message-arrival time); the externally visible behaviour
+is checked against the same DVS trace properties.
+"""
+
+from repro.core.messages import InfoMsg, RegisteredMsg
+from repro.core.viewids import vid_gt
+from repro.dvs.vs_to_dvs import AckMsg
+from repro.gcs.vs_stack import VsListener
+
+
+class DvsListener:
+    """Upcall interface for users of the DVS layer."""
+
+    def on_dvs_newview(self, view):
+        """A new *primary* view was attempted at this process."""
+
+    def on_dvs_gprcv(self, payload, sender):
+        """A client payload was delivered in the current primary view."""
+
+    def on_dvs_safe(self, payload, sender):
+        """The payload is delivered at every member of the primary view."""
+
+
+class DvsLayer(VsListener):
+    """One process's dynamic-primary filter, over a VS stack node."""
+
+    def __init__(self, stack, initial_view, listener=None, recorder=None):
+        self.stack = stack
+        self.pid = stack.pid
+        self.listener = listener or DvsListener()
+        self.recorder = recorder
+        stack.listener = self
+
+        is_member = self.pid in initial_view.set
+        self.cur = initial_view if is_member else None
+        self.client_cur = initial_view if is_member else None
+        self.act = initial_view
+        self.amb = set()
+        self.registered_ids = {initial_view.id} if is_member else set()
+        # Per current view bookkeeping (reset on every VS view).
+        self.info_rcvd = {}
+        self.rcvd_rgst = set()
+        self.pending_deliveries = []
+        self.attempted_current = is_member
+        # Repaired safe rule (see repro.dvs.vs_to_dvs): acknowledgment
+        # evidence of client-level delivery at every member.
+        self.client_history = []
+        self.acked = {}
+        self.safe_ptr = 0
+
+    # -- DVS downcalls ---------------------------------------------------------------
+
+    def gpsnd(self, payload):
+        """Multicast a client payload within the current primary view."""
+        if self.client_cur is None:
+            return
+        self._record("dvs_gpsnd", payload, self.pid)
+        if self.cur is not None and self.client_cur.id == self.cur.id:
+            self.stack.gpsnd(payload)
+        # Otherwise the payload is addressed to a view VS has already
+        # abandoned; like the automaton's stranded msgs-to-vs queue, it is
+        # never delivered.
+
+    def register(self):
+        """The application has gathered all state it needs in this view."""
+        if self.client_cur is None:
+            return
+        if self.client_cur.id in self.registered_ids:
+            return
+        self.registered_ids.add(self.client_cur.id)
+        self._record("dvs_register", self.pid)
+        if self.cur is not None and self.client_cur.id == self.cur.id:
+            self.stack.gpsnd(RegisteredMsg())
+
+    # -- The derived variable ``use`` ----------------------------------------------------
+
+    @property
+    def use(self):
+        return {self.act} | set(self.amb)
+
+    # -- VS upcalls ----------------------------------------------------------------------
+
+    def on_vs_newview(self, view):
+        self.cur = view
+        self.info_rcvd = {}
+        self.rcvd_rgst = set()
+        self.pending_deliveries = []
+        self.attempted_current = False
+        self.client_history = []
+        self.acked = {}
+        self.safe_ptr = 0
+        self.stack.gpsnd(InfoMsg(self.act, frozenset(self.amb)))
+        # A VS view can already be attemptable when it needs no peers'
+        # info (the info check only covers *other* members, and our own
+        # info is reflected back through VS anyway).
+        self._maybe_attempt()
+
+    def on_vs_gprcv(self, payload, sender):
+        if isinstance(payload, InfoMsg):
+            self._on_info(payload, sender)
+        elif isinstance(payload, RegisteredMsg):
+            self._on_registered(sender)
+        elif isinstance(payload, AckMsg):
+            self._on_ack(payload, sender)
+        else:
+            self._on_client_payload(payload, sender)
+
+    def on_vs_safe(self, payload, sender):
+        """VS-level stability: ignored.
+
+        VS-SAFE only proves delivery to every member's *filter*; the DVS
+        safe indication promises delivery to every member's *client*, so
+        this layer derives it from acknowledgments instead (the repaired
+        rule of :mod:`repro.dvs.vs_to_dvs`).
+        """
+
+    # -- Internals ----------------------------------------------------------------------------
+
+    def _on_info(self, info, sender):
+        self.info_rcvd[sender] = info
+        if vid_gt(info.act.id, self.act.id):
+            self.act = info.act
+        self.amb = {
+            w
+            for w in self.amb | set(info.amb)
+            if vid_gt(w.id, self.act.id)
+        }
+        self._maybe_attempt()
+
+    def _maybe_attempt(self):
+        """The DVS-NEWVIEW precondition of Figure 3, applied eagerly."""
+        view = self.cur
+        if view is None or self.attempted_current:
+            return
+        client_id = None if self.client_cur is None else self.client_cur.id
+        if not vid_gt(view.id, client_id):
+            return
+        for q in view.set:
+            if q != self.pid and q not in self.info_rcvd:
+                return
+        if not all(view.majority_of(w) for w in self.use):
+            return
+        self.amb.add(view)
+        self.client_cur = view
+        self.attempted_current = True
+        self._record("dvs_newview", view, self.pid)
+        self.listener.on_dvs_newview(view)
+        buffered = self.pending_deliveries
+        self.pending_deliveries = []
+        for payload, sender in buffered:
+            self._deliver_to_client(payload, sender)
+
+    def _on_registered(self, sender):
+        self.rcvd_rgst.add(sender)
+        view = self.cur
+        if view is None:
+            return
+        if self.rcvd_rgst >= view.set and vid_gt(view.id, self.act.id):
+            # Garbage collection: the view is known totally registered.
+            self.act = view
+            self.amb = {w for w in self.amb if vid_gt(w.id, self.act.id)}
+
+    def _on_client_payload(self, payload, sender):
+        if self.attempted_current:
+            self._deliver_to_client(payload, sender)
+        else:
+            self.pending_deliveries.append((payload, sender))
+
+    def _deliver_to_client(self, payload, sender):
+        self._record("dvs_gprcv", payload, sender, self.pid)
+        self.listener.on_dvs_gprcv(payload, sender)
+        self.client_history.append((payload, sender))
+        if self.cur is not None and self.client_cur is not None and (
+            self.client_cur.id == self.cur.id
+        ):
+            self.stack.gpsnd(AckMsg(len(self.client_history)))
+
+    def _on_ack(self, ack, sender):
+        if ack.count > self.acked.get(sender, 0):
+            self.acked[sender] = ack.count
+        self._release_safe()
+
+    def _release_safe(self):
+        view = self.client_cur
+        if view is None or self.cur is None or view.id != self.cur.id:
+            return
+        while self.safe_ptr < len(self.client_history) and all(
+            self.acked.get(r, 0) > self.safe_ptr for r in view.set
+        ):
+            payload, sender = self.client_history[self.safe_ptr]
+            self.safe_ptr += 1
+            self._record("dvs_safe", payload, sender, self.pid)
+            self.listener.on_dvs_safe(payload, sender)
+
+    def _record(self, name, *params):
+        if self.recorder is not None:
+            self.recorder.record(name, *params)

@@ -1,0 +1,46 @@
+"""Recording stack events as I/O-automaton actions.
+
+The runtime stack and the IOA coding must satisfy the same externally
+visible guarantees.  An :class:`ActionLog` collects the stack's interface
+events as :class:`~repro.ioa.action.Action` values using exactly the
+vocabulary of the automata (``vs_newview``, ``dvs_gprcv``, ``bcast``,
+``brcv``, ...), so :mod:`repro.checking.trace_props` runs unchanged on
+stack executions.
+"""
+
+from repro.ioa.action import act
+
+
+class ActionLog:
+    """An append-only log of actions, shared across a simulation.
+
+    With a ``clock`` callable (e.g. the network's simulated-time reader)
+    each action also gets a timestamp in ``times``, enabling latency
+    analysis (:mod:`repro.analysis.execution_stats`).
+    """
+
+    def __init__(self, clock=None):
+        self.actions = []
+        self.times = []
+        self.clock = clock
+
+    def record(self, name, *params):
+        self.actions.append(act(name, *params))
+        self.times.append(self.clock() if self.clock is not None else None)
+
+    def timed_actions(self):
+        return list(zip(self.times, self.actions))
+
+    def __len__(self):
+        return len(self.actions)
+
+    def __iter__(self):
+        return iter(self.actions)
+
+    def by_name(self, *names):
+        wanted = set(names)
+        return [a for a in self.actions if a.name in wanted]
+
+    def clear(self):
+        self.actions = []
+        self.times = []

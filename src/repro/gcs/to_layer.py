@@ -1,0 +1,158 @@
+"""The runtime coding of ``DVS-TO-TO_p`` (totally ordered broadcast).
+
+The same algorithm as :class:`repro.to.dvs_to_to.DvsToTo`, recast as an
+event-driven layer over :class:`repro.gcs.dvs_layer.DvsLayer`.  Payloads
+are labelled and multicast during normal activity; recovery exchanges
+summaries, adopts ``fullorder`` and registers the view with DVS.  Labels
+are confirmed when safe and released to the application in the confirmed
+order.
+"""
+
+from repro.core.viewids import G0
+from repro.gcs.dvs_layer import DvsListener
+from repro.to.summaries import Label, Summary, fullorder, maxnextconfirm
+
+NORMAL = "normal"
+SEND = "send"
+COLLECT = "collect"
+
+
+class ToListener:
+    """Upcall interface for users of the TO layer."""
+
+    def on_brcv(self, payload, origin):
+        """The next payload in the system-wide total order."""
+
+
+class ToLayer(DvsListener):
+    """One process's totally-ordered-broadcast engine, over a DVS layer."""
+
+    def __init__(self, dvs, initial_view, listener=None, recorder=None):
+        self.dvs = dvs
+        self.pid = dvs.pid
+        self.listener = listener or ToListener()
+        self.recorder = recorder
+        dvs.listener = self
+
+        is_member = self.pid in initial_view.set
+        self.current = initial_view if is_member else None
+        self.status = NORMAL
+        self.content = {}
+        self.nextseqno = 1
+        self.safe_labels = set()
+        self.order = []
+        self.nextconfirm = 1
+        self.nextreport = 1
+        self.highprimary = G0
+        self.gotstate = {}
+        self.safe_exch = set()
+        self.delay = []
+        self.established = set()
+
+    # -- TO downcall ----------------------------------------------------------------
+
+    def bcast(self, payload):
+        """Broadcast ``payload``; it will be delivered in total order."""
+        self._record("bcast", payload, self.pid)
+        self.delay.append(payload)
+        self._drain_delay()
+
+    def _drain_delay(self):
+        """Label and multicast delayed payloads when possible.
+
+        The automaton's LABEL action needs only a current view; sending the
+        labelled payload additionally needs status = normal.  The runtime
+        layer labels lazily -- it keeps payloads in ``delay`` until they can
+        be both labelled and immediately sent, which avoids the duplicate-
+        ordering subtlety without changing what peers observe.
+        """
+        while self.delay and self.current is not None and self.status == NORMAL:
+            payload = self.delay.pop(0)
+            label = Label(self.current.id, self.nextseqno, self.pid)
+            self.nextseqno += 1
+            self.content[label] = payload
+            self.dvs.gpsnd((label, payload))
+
+    # -- DVS upcalls ------------------------------------------------------------------
+
+    def on_dvs_newview(self, view):
+        self.current = view
+        self.nextseqno = 1
+        self.gotstate = {}
+        self.safe_exch = set()
+        self.safe_labels = set()
+        self.status = SEND
+        summary = Summary(
+            con=frozenset(self.content.items()),
+            ord=tuple(self.order),
+            next=self.nextconfirm,
+            high=self.highprimary,
+        )
+        self.dvs.gpsnd(summary)
+        self.status = COLLECT
+
+    def on_dvs_gprcv(self, payload, sender):
+        if isinstance(payload, Summary):
+            self._on_summary(payload, sender)
+        else:
+            label, value = payload
+            self.content[label] = value
+            if label not in self.order:
+                self.order.append(label)
+            self._confirm_and_deliver()
+
+    def on_dvs_safe(self, payload, sender):
+        if isinstance(payload, Summary):
+            self.safe_exch.add(sender)
+            if (
+                self.current is not None
+                and self.safe_exch >= self.current.set
+                and set(self.gotstate) >= set(self.current.set)
+            ):
+                self.safe_labels |= set(fullorder(self._gotstate_summaries()))
+        else:
+            label, _ = payload
+            self.safe_labels.add(label)
+        self._confirm_and_deliver()
+
+    # -- Recovery ----------------------------------------------------------------------
+
+    def _gotstate_summaries(self):
+        return dict(self.gotstate)
+
+    def _on_summary(self, summary, sender):
+        for label, value in summary.con:
+            self.content[label] = value
+        self.gotstate[sender] = summary
+        if (
+            self.current is not None
+            and set(self.gotstate) == set(self.current.set)
+            and self.status == COLLECT
+        ):
+            self.nextconfirm = maxnextconfirm(self.gotstate)
+            self.order = list(fullorder(self.gotstate))
+            self.highprimary = self.current.id
+            self.status = NORMAL
+            self.established.add(self.current.id)
+            self.dvs.register()
+            self._drain_delay()
+            self._confirm_and_deliver()
+
+    # -- Confirmation -----------------------------------------------------------------------
+
+    def _confirm_and_deliver(self):
+        while (
+            self.nextconfirm <= len(self.order)
+            and self.order[self.nextconfirm - 1] in self.safe_labels
+        ):
+            self.nextconfirm += 1
+        while self.nextreport < self.nextconfirm:
+            label = self.order[self.nextreport - 1]
+            payload = self.content[label]
+            self.nextreport += 1
+            self._record("brcv", payload, label.origin, self.pid)
+            self.listener.on_brcv(payload, label.origin)
+
+    def _record(self, name, *params):
+        if self.recorder is not None:
+            self.recorder.record(name, *params)

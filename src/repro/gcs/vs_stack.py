@@ -1,0 +1,225 @@
+"""A concrete view-synchronous service (the VS interface, implemented).
+
+Membership: coordinator-based.  On every connectivity change the minimum
+process id of the component runs a two-phase round: it collects every
+member's highest known epoch, picks ``max + 1``, forms the view
+``<(epoch, leader), component>`` and installs it at every member.  View
+identifiers ``(epoch, origin)`` are unique system-wide (concurrent
+components have distinct leaders) and installs are accepted only in
+increasing identifier order, so each process's view sequence is monotone.
+
+Ordering: per-view sequencer.  A member forwards its payloads to the
+view's leader (minimum id), which assigns consecutive sequence numbers and
+broadcasts them; members deliver in sequence order -- hence all members of
+a view deliver prefixes of one common sequence.  Members acknowledge
+deliveries; once the leader holds acknowledgements from *every* member for
+a position it broadcasts a stability note, and members report the message
+safe, in order.
+
+Safety relative to the VS specification (checked by the test suite through
+the shared trace-property checkers):
+
+- deliveries carry the view identifier and are accepted only in the
+  matching current view (sending-view delivery);
+- the sequencer gives every member the same per-view order, delivered
+  gap-free (common order, prefix delivery);
+- a safe report means every view member acknowledged, i.e. delivered,
+  the message (the VS-SAFE precondition).
+
+Liveness depends on the connectivity oracle and on component stability; a
+round interrupted by another connectivity change is simply superseded.
+"""
+
+from repro.core.viewids import ViewId
+from repro.core.views import View
+from repro.gcs.messages import (
+    Ack,
+    Collect,
+    Data,
+    Install,
+    Ordered,
+    SafeNote,
+    StateReply,
+)
+from repro.net.simulator import Node
+
+
+class VsListener:
+    """Upcall interface for users of the VS stack."""
+
+    def on_vs_newview(self, view):
+        """A new view was installed."""
+
+    def on_vs_gprcv(self, payload, sender):
+        """A payload from ``sender`` was delivered in the current view."""
+
+    def on_vs_safe(self, payload, sender):
+        """The payload is now known delivered at every view member."""
+
+
+class _ViewOrderingState:
+    """Per-view sequencing state, discarded on every view change."""
+
+    def __init__(self, view):
+        self.view = view
+        # Sequencer side.
+        self.next_assign = 1
+        self.acks = {}
+        self.next_safe_broadcast = 1
+        # Member side.
+        self.buffer = {}
+        self.next_deliver = 1
+        self.safe_notes = set()
+        self.next_safe_report = 1
+
+
+class VsStackNode(Node):
+    """One process of the concrete view-synchronous stack."""
+
+    def __init__(self, pid, initial_view=None, listener=None, recorder=None):
+        super().__init__(pid)
+        self.listener = listener or VsListener()
+        self.recorder = recorder
+        self.round_counter = 0
+        self.active_round = None  # (round_id, members, replies) at leader
+        if initial_view is not None and pid in initial_view.set:
+            self.view = initial_view
+            self.max_epoch = initial_view.id.epoch
+            self.ordering = _ViewOrderingState(initial_view)
+        else:
+            self.view = None
+            self.max_epoch = initial_view.id.epoch if initial_view else 0
+            self.ordering = None
+
+    # -- VS downcall ----------------------------------------------------------------
+
+    def gpsnd(self, payload):
+        """Multicast ``payload`` to the current view (VS-GPSND)."""
+        if self.view is None:
+            return
+        self._record("vs_gpsnd", payload, self.pid)
+        self.send(self._leader(), Data(self.view.id, payload, self.pid))
+
+    def _leader(self):
+        return min(self.view.set)
+
+    # -- Failure detection / membership ------------------------------------------------
+
+    def on_connectivity(self, component):
+        if self.pid != min(component):
+            return
+        self.round_counter += 1
+        round_id = (self.pid, self.round_counter)
+        self.active_round = (round_id, frozenset(component), {})
+        for member in sorted(component):
+            self.send(member, Collect(round_id, frozenset(component)))
+
+    def on_message(self, src, msg):
+        handler = {
+            Collect: self._on_collect,
+            StateReply: self._on_state_reply,
+            Install: self._on_install,
+            Data: self._on_data,
+            Ordered: self._on_ordered,
+            Ack: self._on_ack,
+            SafeNote: self._on_safe_note,
+        }[type(msg)]
+        handler(src, msg)
+
+    def _on_collect(self, src, msg):
+        if self.pid not in msg.members:
+            return
+        self.send(src, StateReply(msg.round_id, self.max_epoch))
+
+    def _on_state_reply(self, src, msg):
+        if self.active_round is None:
+            return
+        round_id, members, replies = self.active_round
+        if msg.round_id != round_id or src not in members:
+            return
+        replies[src] = msg.max_epoch
+        if set(replies) != set(members):
+            return
+        epoch = max(max(replies.values()), self.max_epoch) + 1
+        view = View(ViewId(epoch, self.pid), members)
+        self.active_round = None
+        for member in sorted(members):
+            self.send(member, Install(round_id, view))
+
+    def _on_install(self, src, msg):
+        view = msg.view
+        if self.pid not in view.set:
+            return
+        if self.view is not None and not view.id > self.view.id:
+            return
+        self.max_epoch = max(self.max_epoch, view.id.epoch)
+        self.view = view
+        self.ordering = _ViewOrderingState(view)
+        self._record("vs_newview", view, self.pid)
+        self.listener.on_vs_newview(view)
+
+    # -- In-view ordering ----------------------------------------------------------------------
+
+    def _in_current_view(self, vid):
+        return self.view is not None and self.view.id == vid
+
+    def _on_data(self, src, msg):
+        """Sequencer: assign the next slot and broadcast it."""
+        if not self._in_current_view(msg.vid) or self.pid != self._leader():
+            return
+        ordering = self.ordering
+        seq = ordering.next_assign
+        ordering.next_assign += 1
+        broadcast = Ordered(msg.vid, seq, msg.payload, msg.sender)
+        for member in sorted(self.view.set):
+            self.send(member, broadcast)
+
+    def _on_ordered(self, src, msg):
+        if not self._in_current_view(msg.vid):
+            return
+        ordering = self.ordering
+        ordering.buffer[msg.seq] = (msg.payload, msg.sender)
+        while ordering.next_deliver in ordering.buffer:
+            seq = ordering.next_deliver
+            payload, sender = ordering.buffer[seq]
+            ordering.next_deliver += 1
+            self._record("vs_gprcv", payload, sender, self.pid)
+            self.listener.on_vs_gprcv(payload, sender)
+            self.send(self._leader(), Ack(msg.vid, seq))
+            self._report_safe()
+
+    def _on_ack(self, src, msg):
+        if not self._in_current_view(msg.vid) or self.pid != self._leader():
+            return
+        ordering = self.ordering
+        ordering.acks.setdefault(msg.seq, set()).add(src)
+        while ordering.acks.get(
+            ordering.next_safe_broadcast, set()
+        ) >= self.view.set:
+            note = SafeNote(msg.vid, ordering.next_safe_broadcast)
+            ordering.next_safe_broadcast += 1
+            for member in sorted(self.view.set):
+                self.send(member, note)
+
+    def _on_safe_note(self, src, msg):
+        if not self._in_current_view(msg.vid):
+            return
+        self.ordering.safe_notes.add(msg.seq)
+        self._report_safe()
+
+    def _report_safe(self):
+        """Report safe messages in order, as far as notes and deliveries go."""
+        ordering = self.ordering
+        while (
+            ordering.next_safe_report in ordering.safe_notes
+            and ordering.next_safe_report < ordering.next_deliver
+        ):
+            seq = ordering.next_safe_report
+            ordering.next_safe_report += 1
+            payload, sender = ordering.buffer[seq]
+            self._record("vs_safe", payload, sender, self.pid)
+            self.listener.on_vs_safe(payload, sender)
+
+    def _record(self, name, *params):
+        if self.recorder is not None:
+            self.recorder.record(name, *params)

@@ -1,0 +1,48 @@
+"""Actions of I/O automata.
+
+An action is a name together with a tuple of parameters, e.g. the paper's
+``DVS-NEWVIEW(v)_p`` becomes ``Action("dvs_newview", (v, p))``.  Subscripted
+process indices are passed as ordinary trailing parameters.  Names use
+underscores (valid Python identifiers) instead of the paper's hyphens so that
+:class:`~repro.ioa.automaton.TransitionAutomaton` can dispatch to methods
+named ``pre_<name>`` / ``eff_<name>``.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Kind(enum.Enum):
+    """Classification of an action within an automaton's signature."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INTERNAL = "internal"
+
+    @property
+    def is_external(self):
+        """Whether actions of this kind appear in traces."""
+        return self is not Kind.INTERNAL
+
+
+@dataclass(frozen=True)
+class Action:
+    """An action instance: a name plus hashable parameters."""
+
+    name: str
+    params: Tuple = ()
+
+    def __str__(self):
+        if not self.params:
+            return self.name
+        rendered = ", ".join(repr(p) for p in self.params)
+        return "{0}({1})".format(self.name, rendered)
+
+    def __repr__(self):
+        return "Action({0})".format(self)
+
+
+def act(name, *params):
+    """Convenience constructor: ``act("dvs_newview", v, p)``."""
+    return Action(name, tuple(params))

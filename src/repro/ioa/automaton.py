@@ -1,0 +1,173 @@
+"""The I/O automaton base classes.
+
+Two levels are provided:
+
+- :class:`Automaton`: the abstract interface -- a signature, an initial
+  state, an enabling predicate, a transition function and an enumerator of
+  locally controlled candidate actions.
+- :class:`TransitionAutomaton`: a convenience base that dispatches actions
+  by name to ``pre_<name>`` / ``eff_<name>`` methods and enumerates
+  candidates from ``cand_<name>`` generators, mirroring the
+  precondition/effect style of the paper's figures.
+"""
+
+from abc import ABC, abstractmethod
+
+from repro.ioa.action import Kind
+from repro.ioa.errors import ActionNotEnabled, UnknownAction
+
+
+class Automaton(ABC):
+    """An I/O automaton without fairness (as in the paper, Section 2)."""
+
+    #: Human-readable name, used in composition and error messages.
+    name = "automaton"
+
+    @abstractmethod
+    def initial_state(self):
+        """Return the (unique) initial state."""
+
+    @abstractmethod
+    def action_kind(self, action):
+        """Classify ``action``: a :class:`Kind`, or ``None`` if not in the
+        signature."""
+
+    @abstractmethod
+    def is_enabled(self, state, action):
+        """Whether ``action`` may be performed from ``state``.
+
+        Input actions are always enabled (input-enabledness); output and
+        internal actions are enabled iff their precondition holds.
+        """
+
+    @abstractmethod
+    def transition(self, state, action):
+        """Mutate ``state`` in place according to the effect of ``action``.
+
+        Callers normally use :meth:`apply`, which copies first.
+        """
+
+    @abstractmethod
+    def controlled_candidates(self, state):
+        """Yield locally controlled (output/internal) actions that are
+        enabled in ``state``.
+
+        The enumeration must be complete enough for the intended analyses:
+        every action the analyses need to explore must eventually be
+        yielded.  Enumerations may over-approximate; callers re-check
+        :meth:`is_enabled`.
+        """
+
+    # -- Derived helpers ---------------------------------------------------
+
+    def apply(self, state, action):
+        """Return the state after performing ``action`` from ``state``.
+
+        Raises :class:`UnknownAction` if the action is not in the signature
+        and :class:`ActionNotEnabled` if a locally controlled action's
+        precondition fails.
+        """
+        kind = self.action_kind(action)
+        if kind is None:
+            raise UnknownAction(
+                "{0} has no action {1}".format(self.name, action)
+            )
+        if kind is not Kind.INPUT and not self.is_enabled(state, action):
+            raise ActionNotEnabled(
+                "{0}: {1} not enabled".format(self.name, action)
+            )
+        successor = state.copy()
+        self.transition(successor, action)
+        return successor
+
+    def is_external(self, action):
+        kind = self.action_kind(action)
+        return kind is not None and kind.is_external
+
+    def enabled_controlled(self, state):
+        """List the enabled locally controlled actions (deduplicated)."""
+        seen = set()
+        result = []
+        for action in self.controlled_candidates(state):
+            if action in seen:
+                continue
+            seen.add(action)
+            if self.is_enabled(state, action):
+                result.append(action)
+        return result
+
+
+class TransitionAutomaton(Automaton):
+    """Precondition/effect automata in the style of the paper's figures.
+
+    Subclasses declare the signature as three class-level sets of action
+    *names*::
+
+        inputs = {"dvs_gpsnd", "dvs_register"}
+        outputs = {"dvs_gprcv", "dvs_safe", "dvs_newview"}
+        internals = {"dvs_createview", "dvs_order"}
+
+    and implement, for each locally controlled action name, an optional
+    precondition ``pre_<name>(state, *params) -> bool`` (absent means
+    ``True``), an effect ``eff_<name>(state, *params)`` mutating ``state``,
+    and a candidate generator ``cand_<name>(state)`` yielding
+    :class:`~repro.ioa.action.Action` instances.  Input actions only need an
+    effect.
+    """
+
+    inputs = frozenset()
+    outputs = frozenset()
+    internals = frozenset()
+
+    #: Set True by per-process automata whose signatures are carved up by
+    #: action *parameters* (e.g. ``dvs_newview(v, p)`` belongs to the
+    #: automaton at p only).  Relaxes the name-level compatibility check in
+    #: compositions; instance-level compatibility is enforced at apply time.
+    parameterized_signature = False
+
+    def participates(self, action):
+        """Whether this instance's signature contains this specific action.
+
+        Per-process automata override this to claim only the actions whose
+        process-index parameter matches their own id.
+        """
+        return True
+
+    def action_kind(self, action):
+        if not self.participates(action):
+            return None
+        if action.name in self.inputs:
+            return Kind.INPUT
+        if action.name in self.outputs:
+            return Kind.OUTPUT
+        if action.name in self.internals:
+            return Kind.INTERNAL
+        return None
+
+    def is_enabled(self, state, action):
+        kind = self.action_kind(action)
+        if kind is None:
+            return False
+        if kind is Kind.INPUT:
+            return True
+        pre = getattr(self, "pre_" + action.name, None)
+        if pre is None:
+            return True
+        return bool(pre(state, *action.params))
+
+    def transition(self, state, action):
+        if self.action_kind(action) is None:
+            raise UnknownAction(
+                "{0} has no action {1}".format(self.name, action)
+            )
+        eff = getattr(self, "eff_" + action.name, None)
+        if eff is not None:
+            eff(state, *action.params)
+
+    def controlled_candidates(self, state):
+        for name in sorted(self.outputs | self.internals):
+            generator = getattr(self, "cand_" + name, None)
+            if generator is None:
+                continue
+            for action in generator(state):
+                yield action

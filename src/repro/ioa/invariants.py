@@ -1,0 +1,67 @@
+"""Invariant checking along executions.
+
+An invariant is a predicate on states.  The paper states its invariants
+(3.1, 4.1, 4.2, 5.1-5.6, 6.1-6.3) over all reachable states; we check them
+on every state of every generated execution and on every state visited by
+the bounded explorer.  Predicates may either return a boolean or raise
+``AssertionError`` with a diagnostic message.
+"""
+
+from repro.ioa.errors import InvariantViolation
+
+
+class InvariantSuite:
+    """A named collection of state predicates, checkable as a unit."""
+
+    def __init__(self, invariants=None):
+        self._invariants = dict(invariants or {})
+
+    def add(self, name, predicate):
+        self._invariants[name] = predicate
+        return self
+
+    def names(self):
+        return sorted(self._invariants)
+
+    def items(self):
+        return sorted(self._invariants.items())
+
+    def check_state(self, state):
+        """Check every invariant on ``state``; raise on the first failure."""
+        for name, predicate in self.items():
+            try:
+                ok = predicate(state)
+            except AssertionError as exc:
+                raise InvariantViolation(name, state, str(exc)) from exc
+            if ok is False:
+                raise InvariantViolation(name, state)
+
+    def check_execution(self, execution):
+        """Check every state of ``execution``; return the number checked."""
+        count = 0
+        for state in execution.states():
+            self.check_state(state)
+            count += 1
+        return count
+
+    def violations(self, state):
+        """Names of invariants that fail on ``state`` (no exception)."""
+        failed = []
+        for name, predicate in self.items():
+            try:
+                ok = predicate(state)
+            except AssertionError:
+                ok = False
+            if ok is False:
+                failed.append(name)
+        return failed
+
+
+def check_invariants(execution, invariants):
+    """Check a dict or :class:`InvariantSuite` over a whole execution."""
+    suite = (
+        invariants
+        if isinstance(invariants, InvariantSuite)
+        else InvariantSuite(invariants)
+    )
+    return suite.check_execution(execution)

@@ -1,0 +1,198 @@
+"""Mechanized refinement (single-valued simulation) checking.
+
+The paper proves Theorem 5.9 (DVS-IMPL implements DVS) by exhibiting a
+function F from implementation states to specification states and showing
+(Lemmas 5.7, 5.8) that
+
+1. F maps initial states to initial states, and
+2. for every step ``(s, pi, s')`` of the implementation there is an
+   execution fragment ``alpha`` of the specification from ``F(s)`` to
+   ``F(s')`` with ``trace(alpha) = trace(pi)``.
+
+:class:`RefinementChecker` performs exactly this check, mechanically, along
+concrete executions: for each step it searches for a matching specification
+fragment.  The search first tries caller-supplied *hints* (the fragments the
+paper's proof constructs, e.g. ``CREATEVIEW(v)`` followed by
+``NEWVIEW(v)_p``), then falls back to a bounded breadth-first search over
+the specification's enabled actions.
+"""
+
+from collections import deque
+
+from repro.ioa.errors import ActionNotEnabled, RefinementFailure, UnknownAction
+
+
+class RefinementChecker:
+    """Check that ``mapping`` is a refinement from ``impl`` to ``spec``.
+
+    Parameters
+    ----------
+    impl, spec:
+        The implementation and specification automata.  ``spec`` is treated
+        as open: its input actions are always enabled.
+    mapping:
+        Function from implementation states to specification states (the
+        paper's F, Figure 4).
+    hints:
+        Optional ``hints(step, abstract_state) -> iterable of action
+        sequences``; each sequence is tried verbatim before the generic
+        search.  Hints encode the constructive part of the paper's proof.
+    max_depth:
+        Bound on the fragment length explored by the fallback search.
+    """
+
+    def __init__(self, impl, spec, mapping, hints=None, max_depth=3):
+        self.impl = impl
+        self.spec = spec
+        self.mapping = mapping
+        self.hints = hints
+        self.max_depth = max_depth
+
+    # -- Condition 1: initial states ---------------------------------------
+
+    def check_initial(self, impl_initial=None):
+        """F maps the implementation's initial state to spec's (Lemma 5.7)."""
+        state = (
+            impl_initial
+            if impl_initial is not None
+            else self.impl.initial_state()
+        )
+        abstract = self.mapping(state)
+        expected = self.spec.initial_state()
+        if abstract.fingerprint() != expected.fingerprint():
+            raise RefinementFailure(
+                _PseudoStep("initial"),
+                abstract,
+                expected,
+                "F(initial) differs from the specification's initial state",
+            )
+        return abstract
+
+    # -- Condition 2: step correspondence -----------------------------------
+
+    def check_step(self, step):
+        """Find a spec fragment matching ``step`` (Lemma 5.8); return it.
+
+        The fragment is returned as the list of specification actions.
+        Raises :class:`RefinementFailure` when none exists within the
+        search bound.
+        """
+        abstract_from = self.mapping(step.state)
+        abstract_to = self.mapping(step.next_state)
+        required = (
+            [step.action] if self.spec.action_kind(step.action) is not None
+            and self.spec.is_external(step.action) else []
+        )
+
+        if self.hints is not None:
+            for candidate in self.hints(step, abstract_from):
+                if self._fragment_matches(
+                    abstract_from, candidate, abstract_to, required
+                ):
+                    return list(candidate)
+
+        fragment = self._search(abstract_from, abstract_to, required)
+        if fragment is None:
+            raise RefinementFailure(
+                step,
+                abstract_from,
+                abstract_to,
+                "no fragment of depth <= {0} with trace {1}".format(
+                    self.max_depth, [str(a) for a in required]
+                ),
+            )
+        return fragment
+
+    def check_execution(self, execution, on_step=None):
+        """Check the whole execution; return total abstract actions used."""
+        self.check_initial(execution.initial_state)
+        total = 0
+        for step in execution.steps:
+            fragment = self.check_step(step)
+            total += len(fragment)
+            if on_step is not None:
+                on_step(step, fragment)
+        return total
+
+    # -- Internals -----------------------------------------------------------
+
+    def _try_apply(self, state, action):
+        """Apply a spec action if possible; return the new state or None."""
+        kind = self.spec.action_kind(action)
+        if kind is None:
+            return None
+        try:
+            return self.spec.apply(state, action)
+        except (ActionNotEnabled, UnknownAction):
+            return None
+
+    def _fragment_matches(self, start, actions, goal, required):
+        """Run ``actions`` from ``start``; succeed if the result equals
+        ``goal`` and the external projection equals ``required``."""
+        state = start
+        externals = []
+        for action in actions:
+            state = self._try_apply(state, action)
+            if state is None:
+                return False
+            if self.spec.is_external(action):
+                externals.append(action)
+        if externals != required:
+            return False
+        return state.fingerprint() == goal.fingerprint()
+
+    def _search(self, start, goal, required):
+        """Bounded BFS over spec fragments from ``start`` to ``goal``.
+
+        Nodes are (state, externals-consumed).  Successor actions are the
+        spec's enabled locally controlled actions plus (when not yet
+        consumed) the single required external action.
+        """
+        goal_print = goal.fingerprint()
+        start_node = (start, 0)
+        if (
+            start.fingerprint() == goal_print
+            and not required
+        ):
+            return []
+        queue = deque([(start_node, [])])
+        visited = {(start.fingerprint(), 0)}
+        while queue:
+            (state, consumed), path = queue.popleft()
+            if len(path) >= self.max_depth:
+                continue
+            candidates = list(self.spec.enabled_controlled(state))
+            if consumed < len(required):
+                candidates.append(required[consumed])
+            for action in candidates:
+                is_required = (
+                    consumed < len(required)
+                    and action == required[consumed]
+                )
+                if self.spec.is_external(action) and not is_required:
+                    continue
+                next_state = self._try_apply(state, action)
+                if next_state is None:
+                    continue
+                next_consumed = consumed + (1 if is_required else 0)
+                next_path = path + [action]
+                if (
+                    next_state.fingerprint() == goal_print
+                    and next_consumed == len(required)
+                ):
+                    return next_path
+                key = (next_state.fingerprint(), next_consumed)
+                if key in visited:
+                    continue
+                visited.add(key)
+                queue.append(((next_state, next_consumed), next_path))
+        return None
+
+
+class _PseudoStep:
+    """Stand-in step for initial-state failures."""
+
+    def __init__(self, label):
+        self.action = label
+        self.state = None
+        self.next_state = None

@@ -1,0 +1,106 @@
+"""Action renaming: the third classic I/O-automaton operation.
+
+Alongside composition and hiding, Lynch-Tuttle automata support renaming
+of actions.  :class:`Renamed` wraps an automaton with a bijective renaming
+of action *names* (parameters pass through), which lets several instances
+of the same specification coexist in one composition (e.g. two independent
+VS groups) or adapts vocabulary between layers.
+"""
+
+from repro.ioa.action import Action
+from repro.ioa.automaton import Automaton
+
+
+class Renamed(Automaton):
+    """``inner`` with its action names mapped through ``mapping``.
+
+    ``mapping`` is outer-name -> inner-name or inner-name -> outer-name?
+    We take ``mapping`` as **inner -> outer** (how the inner automaton's
+    actions appear outside); it must be injective over the names actually
+    used.  Names not in the mapping pass through unchanged.
+    """
+
+    def __init__(self, inner, mapping, name=None):
+        self.inner = inner
+        self.name = name or "renamed:{0}".format(inner.name)
+        self._outer_of = dict(mapping)
+        self._inner_of = {v: k for k, v in self._outer_of.items()}
+        if len(self._inner_of) != len(self._outer_of):
+            raise ValueError("renaming must be injective")
+        self.parameterized_signature = getattr(
+            inner, "parameterized_signature", False
+        )
+
+    # -- Name translation ------------------------------------------------------
+
+    def _to_inner(self, action):
+        """Translate an outer action inward; None if outside the outer
+        vocabulary (a renamed-away inner name is not accepted)."""
+        if action.name in self._inner_of:
+            return Action(self._inner_of[action.name], action.params)
+        if action.name in self._outer_of:
+            return None  # this inner name was renamed away
+        return action
+
+    def _to_outer(self, action):
+        outer_name = self._outer_of.get(action.name, action.name)
+        if outer_name == action.name:
+            return action
+        return Action(outer_name, action.params)
+
+    def _rename_names(self, names):
+        return frozenset(self._outer_of.get(n, n) for n in names)
+
+    # -- Signature ---------------------------------------------------------------
+
+    @property
+    def inputs(self):
+        return self._rename_names(self.inner.inputs)
+
+    @property
+    def outputs(self):
+        return self._rename_names(self.inner.outputs)
+
+    @property
+    def internals(self):
+        return self._rename_names(self.inner.internals)
+
+    # -- Automaton interface --------------------------------------------------------
+
+    def initial_state(self):
+        return self.inner.initial_state()
+
+    def participates(self, action):
+        inner = self._to_inner(action)
+        if inner is None:
+            return False
+        participates = getattr(self.inner, "participates", None)
+        if participates is None:
+            return True
+        return participates(inner)
+
+    def action_kind(self, action):
+        inner = self._to_inner(action)
+        if inner is None:
+            return None
+        return self.inner.action_kind(inner)
+
+    def is_enabled(self, state, action):
+        inner = self._to_inner(action)
+        if inner is None:
+            return False
+        return self.inner.is_enabled(state, inner)
+
+    def transition(self, state, action):
+        inner = self._to_inner(action)
+        if inner is None:
+            from repro.ioa.errors import UnknownAction
+
+            raise UnknownAction(
+                "{0} has no action {1}".format(self.name, action)
+            )
+        self.inner.transition(state, inner)
+
+    def controlled_candidates(self, state):
+        for action in self.inner.controlled_candidates(state):
+            yield self._to_outer(action)

@@ -1,0 +1,17 @@
+"""A deterministic event-driven network simulator.
+
+The paper's algorithms assume an asynchronous fault-prone network
+underneath the VS service.  This package provides that substrate for the
+*runtime* (non-automaton) coding of the stack: point-to-point FIFO
+channels with latency, network partitions and merges, process crashes and
+recoveries, timers, and a connectivity oracle that plays the role of a
+failure detector.
+
+Everything is driven by a single seeded event queue, so simulations are
+bit-for-bit reproducible.
+"""
+
+from repro.net.events import EventQueue
+from repro.net.simulator import Network, Node
+
+__all__ = ["EventQueue", "Network", "Node"]

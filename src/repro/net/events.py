@@ -1,0 +1,75 @@
+"""The discrete-event queue driving the network simulation."""
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """A priority queue of timed callbacks with stable FIFO tie-breaking.
+
+    Events at equal times fire in scheduling order (the ``seq`` counter),
+    which makes runs deterministic without relying on heap internals.
+    """
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, delay, callback):
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Returns a handle that can be passed to :meth:`cancel`.
+        """
+        if delay < 0:
+            raise ValueError("delay must be nonnegative")
+        event = _Event(self.now + delay, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event):
+        event.cancelled = True
+
+    def __len__(self):
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def run_until(self, deadline):
+        """Fire events with time <= deadline; advance ``now`` to deadline."""
+        while self._heap and self._heap[0].time <= deadline:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+        self.now = max(self.now, deadline)
+
+    def run_to_quiescence(self, max_time=float("inf"), max_events=1000000):
+        """Fire events until none remain (or a bound trips).
+
+        Returns the number of events fired.
+        """
+        fired = 0
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time > max_time:
+                # Out of simulated time; leave the event unfired.
+                heapq.heappush(self._heap, event)
+                break
+            self.now = event.time
+            event.callback()
+            fired += 1
+            if fired >= max_events:
+                break
+        return fired

@@ -1,0 +1,227 @@
+"""The simulated asynchronous network: nodes, channels, partitions, crashes.
+
+Semantics:
+
+- **Channels** are point-to-point and FIFO.  Each ordered pair of processes
+  has its own queue; per-message latency is drawn deterministically from a
+  seeded RNG but delivery order per channel is preserved (a message never
+  overtakes an earlier one on the same channel).
+- **Partitions** are modelled as a map from process to component id.
+  A message is delivered only if, *at delivery time*, the sender and the
+  receiver are alive and in the same component; otherwise it is dropped
+  (the classic fair-lossy abstraction -- reliability within a stable
+  component is what the membership/ordering layer rebuilds).
+- **Crashes** silence a node (its messages and timers are dropped) until
+  ``recover`` -- recovery is amnesia-free for the node object itself;
+  protocols that need crash-recovery semantics must manage their own
+  stable storage (our stack treats recovery like a merge).
+- **Connectivity oracle**: whenever the partition map or crash set
+  changes, every alive node is told its current component via
+  ``on_connectivity``.  This substitutes for a failure detector; the
+  safety of everything above is insensitive to the substitution (the
+  oracle only affects *when* view changes happen, not what the layers do
+  with them).
+"""
+
+import random
+
+from repro.net.events import EventQueue
+
+
+class Node:
+    """Base class for protocol nodes attached to a :class:`Network`."""
+
+    def __init__(self, pid):
+        self.pid = pid
+        self.net = None
+
+    # -- Downcalls available once attached ------------------------------------
+
+    def send(self, dst, msg):
+        self.net.send(self.pid, dst, msg)
+
+    def broadcast(self, dsts, msg):
+        for dst in dsts:
+            self.net.send(self.pid, dst, msg)
+
+    def set_timer(self, delay, tag):
+        return self.net.set_timer(self.pid, delay, tag)
+
+    @property
+    def now(self):
+        return self.net.queue.now
+
+    # -- Upcalls (override) ------------------------------------------------------
+
+    def on_start(self):
+        """Called once when the simulation starts."""
+
+    def on_message(self, src, msg):
+        """A message from ``src`` arrived."""
+
+    def on_timer(self, tag):
+        """A timer set with ``set_timer`` fired."""
+
+    def on_connectivity(self, component):
+        """The connectivity oracle reports the node's current component
+        (a frozenset of alive process ids, always containing ``self.pid``)."""
+
+
+class Network:
+    """The simulated network tying nodes, channels and faults together."""
+
+    def __init__(self, seed=0, min_latency=1.0, max_latency=2.0):
+        self.queue = EventQueue()
+        self.rng = random.Random(seed)
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self.nodes = {}
+        self._component_of = {}
+        self._crashed = set()
+        self._channel_clock = {}
+        self._started = False
+        #: Chronological log of (time, kind, details) tuples for analysis.
+        self.log = []
+
+    # -- Topology ------------------------------------------------------------------
+
+    def add_node(self, node):
+        if node.pid in self.nodes:
+            raise ValueError("duplicate node {0!r}".format(node.pid))
+        self.nodes[node.pid] = node
+        node.net = self
+        self._component_of[node.pid] = 0
+        return node
+
+    def alive(self, pid):
+        return pid in self.nodes and pid not in self._crashed
+
+    def connected(self, a, b):
+        return (
+            self.alive(a)
+            and self.alive(b)
+            and self._component_of[a] == self._component_of[b]
+        )
+
+    def component(self, pid):
+        """The alive processes currently connected to ``pid`` (incl. it)."""
+        if not self.alive(pid):
+            return frozenset()
+        group = self._component_of[pid]
+        return frozenset(
+            q
+            for q in self.nodes
+            if self.alive(q) and self._component_of[q] == group
+        )
+
+    def components(self):
+        """All current components of alive processes."""
+        seen = {}
+        for pid in self.nodes:
+            if not self.alive(pid):
+                continue
+            seen.setdefault(self._component_of[pid], set()).add(pid)
+        return [frozenset(v) for v in seen.values()]
+
+    # -- Fault injection ----------------------------------------------------------------
+
+    def partition(self, groups):
+        """Split the network into the given groups of process ids.
+
+        Unlisted alive processes form one extra shared component.
+        """
+        mapping = {}
+        for index, group in enumerate(groups, start=1):
+            for pid in group:
+                mapping[pid] = index
+        for pid in self.nodes:
+            self._component_of[pid] = mapping.get(pid, 0)
+        self._record("partition", [sorted(g) for g in groups])
+        self._notify_connectivity()
+
+    def heal(self):
+        """Merge every process back into one component."""
+        for pid in self.nodes:
+            self._component_of[pid] = 0
+        self._record("heal", None)
+        self._notify_connectivity()
+
+    def crash(self, pid):
+        if pid in self._crashed:
+            return
+        self._crashed.add(pid)
+        self._record("crash", pid)
+        self._notify_connectivity()
+
+    def recover(self, pid):
+        if pid not in self._crashed:
+            return
+        self._crashed.discard(pid)
+        self._record("recover", pid)
+        self._notify_connectivity()
+
+    def _notify_connectivity(self):
+        if not self._started:
+            return
+        for pid, node in sorted(self.nodes.items()):
+            if self.alive(pid):
+                node.on_connectivity(self.component(pid))
+
+    # -- Messaging --------------------------------------------------------------------------
+
+    def send(self, src, dst, msg):
+        """Queue a message; it is dropped at delivery time if the endpoints
+        are then crashed or separated."""
+        if not self.alive(src):
+            return
+        latency = self.rng.uniform(self.min_latency, self.max_latency)
+        channel = (src, dst)
+        # FIFO per channel: never deliver before the previous message on
+        # the same channel.
+        earliest = self._channel_clock.get(channel, 0.0)
+        deliver_at = max(self.queue.now + latency, earliest)
+        self._channel_clock[channel] = deliver_at
+        self._record("send", (src, dst, msg))
+
+        def deliver():
+            if not self.connected(src, dst):
+                self._record("drop", (src, dst, msg))
+                return
+            self._record("deliver", (src, dst, msg))
+            self.nodes[dst].on_message(src, msg)
+
+        self.queue.schedule(deliver_at - self.queue.now, deliver)
+
+    def set_timer(self, pid, delay, tag):
+        def fire():
+            if self.alive(pid):
+                self.nodes[pid].on_timer(tag)
+
+        return self.queue.schedule(delay, fire)
+
+    def cancel_timer(self, handle):
+        self.queue.cancel(handle)
+
+    # -- Execution ---------------------------------------------------------------------------
+
+    def start(self):
+        """Start all nodes and push the initial connectivity report."""
+        if self._started:
+            return
+        self._started = True
+        for pid, node in sorted(self.nodes.items()):
+            node.on_start()
+        self._notify_connectivity()
+
+    def run_until(self, deadline):
+        if not self._started:
+            self.start()
+        self.queue.run_until(deadline)
+
+    def run_to_quiescence(self, max_time=float("inf"), max_events=1000000):
+        if not self._started:
+            self.start()
+        return self.queue.run_to_quiescence(max_time, max_events)
+
+    def _record(self, kind, details):
+        self.log.append((self.queue.now, kind, details))

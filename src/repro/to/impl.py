@@ -1,0 +1,110 @@
+"""TO-IMPL: the composition of all ``DVS-TO-TO_p`` with DVS (Section 6.1).
+
+"The system TO-IMPL is the composition of all the DVS-TO-TO_p automata and
+DVS with all the external actions of DVS hidden."  Here DVS is the
+*specification* automaton: the paper's layered proof verifies the
+application against the service spec, and Theorem 5.9 separately justifies
+replacing the spec by DVS-IMPL.  (The full-stack composition -- DVS-TO-TO
+over VS-TO-DVS over VS -- is also buildable; see
+:func:`build_to_over_dvs_impl`.)
+"""
+
+from repro.dvs.impl import VS_EXTERNAL_ACTIONS, build_dvs_impl
+from repro.dvs.spec import DVSSpec
+from repro.ioa.composition import Composition
+from repro.to.dvs_to_to import DvsToTo
+from repro.to.summaries import Summary
+
+TO_IMPL_NAME = "to_impl"
+
+#: Names of the DVS service's external actions, hidden inside TO-IMPL.
+DVS_EXTERNAL_ACTIONS = frozenset(
+    {"dvs_gpsnd", "dvs_gprcv", "dvs_safe", "dvs_newview", "dvs_register"}
+)
+
+
+def app_component_name(pid):
+    return "dvs_to_to:{0}".format(pid)
+
+
+def build_to_impl(initial_view, universe, view_pool=(), name=TO_IMPL_NAME):
+    """TO-IMPL over the DVS *specification* (the paper's Section 6 system)."""
+    universe = frozenset(universe) | initial_view.set
+    dvs = DVSSpec(initial_view, universe=universe, view_pool=view_pool)
+    apps = [
+        DvsToTo(pid, initial_view, name=app_component_name(pid))
+        for pid in sorted(universe)
+    ]
+    return Composition(
+        [dvs] + apps, hidden=DVS_EXTERNAL_ACTIONS, name=name
+    )
+
+
+def build_to_over_dvs_impl(
+    initial_view, universe, view_pool=(), name="to_over_dvs_impl"
+):
+    """The full stack: DVS-TO-TO over VS-TO-DVS over VS, everything hidden.
+
+    This is the end-to-end system a deployment would run; the paper's two
+    theorems compose to show its traces are TO traces.  We check that
+    directly as well (tests/test_full_stack.py).
+    """
+    universe = frozenset(universe) | initial_view.set
+    dvs_impl = build_dvs_impl(initial_view, universe, view_pool=view_pool)
+    apps = [
+        DvsToTo(pid, initial_view, name=app_component_name(pid))
+        for pid in sorted(universe)
+    ]
+    return Composition(
+        dvs_impl.components + apps,
+        hidden=VS_EXTERNAL_ACTIONS | DVS_EXTERNAL_ACTIONS,
+        name=name,
+    )
+
+
+class ToImplState:
+    """Named access to a TO-IMPL composition state."""
+
+    def __init__(self, composition_state, processes, dvs_name="dvs"):
+        self.state = composition_state
+        self.processes = sorted(processes)
+        self.dvs_name = dvs_name
+
+    @property
+    def dvs(self):
+        return self.state.part(self.dvs_name)
+
+    def app(self, pid):
+        return self.state.part(app_component_name(pid))
+
+    @property
+    def created(self):
+        return self.dvs.created
+
+    def allstate(self):
+        """Every summary present anywhere in the system state.
+
+        Summaries live in the DVS pending queues, in the per-view DVS
+        message queues, and in the ``gotstate`` maps of the application
+        processes.  (The paper's ``allstate`` derived variable, defined as
+        in [12].)
+        """
+        summaries = set()
+        for _, entries in self.dvs.pending.items():
+            for m in entries:
+                if isinstance(m, Summary):
+                    summaries.add(m)
+        for _, entries in self.dvs.queue.items():
+            for m, _sender in entries:
+                if isinstance(m, Summary):
+                    summaries.add(m)
+        for pid in self.processes:
+            for summary in self.app(pid).gotstate.values():
+                summaries.add(summary)
+        return summaries
+
+
+def to_impl_allstate(composition_state, processes, dvs_name="dvs"):
+    return ToImplState(
+        composition_state, processes, dvs_name=dvs_name
+    ).allstate()

@@ -1,0 +1,114 @@
+"""The refinement from TO-IMPL states to TO states (Theorem 6.4).
+
+The mapping follows [12], adapted as the paper describes (Section 6.2):
+the abstract ``pending[p]`` additionally carries the contents of
+``delay_p`` as a tail.
+
+- ``t.order``: the *confirmed* global order.  Each process's confirmed
+  prefix is ``order_p(1..nextconfirm_p - 1)``; these prefixes are
+  consistent (auxiliary invariant), so their least upper bound is the
+  system-wide confirmed label sequence; mapping each label to
+  ``(payload, origin)`` gives the TO order.
+- ``t.next[p] = nextreport_p``.
+- ``t.pending[p]``: the payloads p has broadcast that are not yet in the
+  confirmed order -- the labelled-but-unconfirmed ones in label order,
+  followed by the still-unlabelled ``delay_p``.
+"""
+
+from repro.core.sequences import lub
+from repro.ioa.refinement import RefinementChecker
+from repro.to.impl import ToImplState
+from repro.to.spec import TOSpec, TOState
+
+
+def all_confirm(impl):
+    """The lub of the processes' confirmed label prefixes."""
+    prefixes = []
+    for p in impl.processes:
+        app = impl.app(p)
+        prefixes.append(list(app.order)[: app.nextconfirm - 1])
+    return lub(prefixes)
+
+
+def _global_content(impl):
+    """Label -> payload over every process's content relation."""
+    content = {}
+    for p in impl.processes:
+        for label, payload in impl.app(p).content:
+            content[label] = payload
+    return content
+
+
+def to_refinement_f(processes, dvs_name="dvs"):
+    """Build the mapping F_TO(state) -> TOState."""
+    processes = sorted(processes)
+
+    def mapping(composition_state):
+        impl = ToImplState(composition_state, processes, dvs_name)
+        t = TOState(processes)
+
+        confirmed = all_confirm(impl)
+        content = _global_content(impl)
+        t.order = [(content[label], label.origin) for label in confirmed]
+
+        confirmed_set = set(confirmed)
+        for p in processes:
+            app = impl.app(p)
+            labelled = sorted(
+                label
+                for label in content
+                if label.origin == p and label not in confirmed_set
+            )
+            t.pending[p] = [content[label] for label in labelled] + list(
+                app.delay
+            )
+            t.next[p] = app.nextreport
+        return t
+
+    return mapping
+
+
+def to_hints(mapping):
+    """Fragment hints for the TO step correspondence.
+
+    ``bcast`` / ``brcv`` are trace actions of TO and map to themselves;
+    a ``confirm`` step that extends the global confirmed order maps to the
+    ``to_order`` of the newly confirmed message; every other step
+    (labelling, DVS-internal traffic, recovery) is a stutter.
+    """
+
+    def hints(step, abstract_from):
+        name = step.action.name
+        if name in ("bcast", "brcv"):
+            return [[step.action]]
+        if name == "confirm":
+            before = abstract_from.order
+            after = mapping(step.next_state).order
+            if len(after) == len(before) + 1:
+                payload, origin = after[-1]
+                from repro.ioa.action import act
+
+                return [[act("to_order", payload, origin)]]
+            return [[]]
+        return [[]]
+
+    return hints
+
+
+def to_refinement_checker(processes, dvs_name="dvs"):
+    """A :class:`RefinementChecker` for Theorem 6.4.
+
+    Pass executions of the TO-IMPL composition built by
+    :func:`repro.to.impl.build_to_impl` (composed with TO client drivers to
+    close it).
+    """
+    processes = sorted(processes)
+    spec = TOSpec(processes, name="to_spec")
+    mapping = to_refinement_f(processes, dvs_name)
+    return RefinementChecker(
+        impl=None,
+        spec=spec,
+        mapping=mapping,
+        hints=to_hints(mapping),
+        max_depth=3,
+    )

@@ -1,0 +1,264 @@
+"""Totally ordered broadcast over SX-DVS: Figure 5 without the recovery
+state machine.
+
+With the state exchange run by the service (:mod:`repro.dvs.state_exchange`),
+the application no longer needs ``status``/``gotstate``/``safe-exch``:
+
+- on a new view it hands the service its summary (``sx_sendstate``);
+- the service returns everyone's summaries in one ``sx_statedelivery``,
+  which is the establishment step (adopt ``fullorder``, resume labelling);
+- ``sx_statesafe`` tells it the exchange is safe everywhere, making the
+  exchanged labels confirmable.
+
+Comparing this automaton with :class:`repro.to.dvs_to_to.DvsToTo` is the
+Section 7 exercise the paper proposes: the application shrinks by a full
+protocol phase, at the cost of a richer service interface.
+"""
+
+from repro.core.sequences import head, nth, remove_head
+from repro.core.tables import Table
+from repro.core.viewids import G0
+from repro.ioa.action import act
+from repro.ioa.automaton import TransitionAutomaton
+from repro.ioa.state import State
+from repro.to.summaries import Label, Summary, fullorder, maxnextconfirm
+
+_PROC_PARAM = {
+    "bcast": 1,
+    "label": 1,
+    "confirm": 0,
+    "brcv": 2,
+    "dvs_gpsnd": 1,
+    "dvs_newview": 1,
+    "dvs_gprcv": 2,
+    "dvs_safe": 2,
+    "sx_sendstate": 1,
+    "sx_statedelivery": 1,
+    "sx_statesafe": 0,
+}
+
+
+class SxToState(State):
+    """Figure 5's state minus ``status``, ``gotstate`` and ``safe-exch``."""
+
+    def __init__(self, pid, initial_view):
+        is_member = pid in initial_view.set
+        super().__init__(
+            current=initial_view if is_member else None,
+            established_current=is_member,
+            sent_state=is_member,  # v0 needs no exchange
+            content=set(),
+            nextseqno=1,
+            buffer=[],
+            safe_labels=set(),
+            order=[],
+            nextconfirm=1,
+            nextreport=1,
+            highprimary=G0,
+            exchanged_labels=set(),
+            pending_content=[],
+            delay=[],
+            established=Table(lambda: False),
+            buildorder=Table(tuple),
+        )
+
+
+class SxTotalOrder(TransitionAutomaton):
+    """One process of the simplified TO algorithm over SX-DVS."""
+
+    parameterized_signature = True
+
+    inputs = frozenset(
+        {"bcast", "dvs_gprcv", "dvs_safe", "dvs_newview",
+         "sx_statedelivery", "sx_statesafe"}
+    )
+    outputs = frozenset({"dvs_gpsnd", "sx_sendstate", "brcv"})
+    internals = frozenset({"label", "confirm"})
+
+    def __init__(self, pid, initial_view, name=None):
+        self.pid = pid
+        self.initial_view = initial_view
+        self.name = name or "sx_to:{0}".format(pid)
+
+    def participates(self, action):
+        index = _PROC_PARAM.get(action.name)
+        if index is None:
+            return False
+        return (
+            len(action.params) > index and action.params[index] == self.pid
+        )
+
+    def initial_state(self):
+        return SxToState(self.pid, self.initial_view)
+
+    # -- History ----------------------------------------------------------------
+
+    def _snapshot_order(self, state):
+        if state.current is not None:
+            state.buildorder[state.current.id] = tuple(state.order)
+
+    # -- Client input, labelling, normal multicast ----------------------------------
+
+    def eff_bcast(self, state, a, p):
+        state.delay.append(a)
+
+    def pre_label(self, state, a, p):
+        return state.current is not None and head(state.delay) == a
+
+    def eff_label(self, state, a, p):
+        label = Label(state.current.id, state.nextseqno, self.pid)
+        state.content.add((label, a))
+        state.buffer.append(label)
+        state.nextseqno += 1
+        remove_head(state.delay)
+
+    def cand_label(self, state):
+        if state.current is None:
+            return
+        a = head(state.delay)
+        if a is not None:
+            yield act("label", a, self.pid)
+
+    def _content_lookup(self, state, label):
+        for entry_label, payload in state.content:
+            if entry_label == label:
+                return payload
+        return None
+
+    def pre_dvs_gpsnd(self, state, m, p):
+        label, payload = m
+        return (
+            state.established_current
+            and head(state.buffer) == label
+            and (label, payload) in state.content
+        )
+
+    def eff_dvs_gpsnd(self, state, m, p):
+        remove_head(state.buffer)
+
+    def cand_dvs_gpsnd(self, state):
+        if not state.established_current:
+            return
+        label = head(state.buffer)
+        if label is not None:
+            payload = self._content_lookup(state, label)
+            if payload is not None:
+                yield act("dvs_gpsnd", (label, payload), self.pid)
+
+    # -- Deliveries ----------------------------------------------------------------------
+
+    def eff_dvs_gprcv(self, state, m, q, p):
+        """Order received content -- but only once this view is established.
+
+        Unlike Figure 5, establishment here (``sx_statedelivery``) is an
+        independent service output and is *not* ordered before the view's
+        content messages, so content arriving first must be buffered: a
+        direct append would be wiped (and re-sequenced differently) when
+        establishment adopts ``fullorder``.
+        """
+        label, payload = m
+        state.content.add((label, payload))
+        if not state.established_current:
+            state.pending_content.append(label)
+            return
+        if label not in state.order:
+            state.order.append(label)
+            self._snapshot_order(state)
+
+    def eff_dvs_safe(self, state, m, q, p):
+        label, _ = m
+        state.safe_labels.add(label)
+
+    # -- Confirmation and release ------------------------------------------------------------
+
+    def pre_confirm(self, state, p):
+        entry = nth(state.order, state.nextconfirm)
+        return entry is not None and entry in state.safe_labels
+
+    def eff_confirm(self, state, p):
+        state.nextconfirm += 1
+
+    def cand_confirm(self, state):
+        if self.pre_confirm(state, self.pid):
+            yield act("confirm", self.pid)
+
+    def pre_brcv(self, state, a, q, p):
+        if state.nextreport >= state.nextconfirm:
+            return False
+        label = nth(state.order, state.nextreport)
+        return (
+            label is not None
+            and (label, a) in state.content
+            and q == label.origin
+        )
+
+    def eff_brcv(self, state, a, q, p):
+        state.nextreport += 1
+
+    def cand_brcv(self, state):
+        if state.nextreport >= state.nextconfirm:
+            return
+        label = nth(state.order, state.nextreport)
+        if label is None:
+            return
+        payload = self._content_lookup(state, label)
+        if payload is not None:
+            yield act("brcv", payload, label.origin, self.pid)
+
+    # -- Recovery: three inputs/outputs instead of a state machine ------------------------------
+
+    def eff_dvs_newview(self, state, v, p):
+        state.current = v
+        state.established_current = False
+        state.sent_state = False
+        state.nextseqno = 1
+        state.buffer = []
+        state.safe_labels = set()
+        state.exchanged_labels = set()
+        state.pending_content = []
+
+    def _summary(self, state):
+        return Summary(
+            con=frozenset(state.content),
+            ord=tuple(state.order),
+            next=state.nextconfirm,
+            high=state.highprimary,
+        )
+
+    def pre_sx_sendstate(self, state, x, p):
+        return (
+            state.current is not None
+            and not state.sent_state
+            and x == self._summary(state)
+        )
+
+    def eff_sx_sendstate(self, state, x, p):
+        state.sent_state = True
+
+    def cand_sx_sendstate(self, state):
+        if state.current is not None and not state.sent_state:
+            yield act("sx_sendstate", self._summary(state), self.pid)
+
+    def eff_sx_statedelivery(self, state, bundle, p):
+        """Establishment, in one input: adopt the bundle's fullorder."""
+        gotstate = dict(bundle)
+        if not gotstate or state.current is None:
+            return
+        for summary in gotstate.values():
+            state.content |= set(summary.con)
+        state.nextconfirm = maxnextconfirm(gotstate)
+        state.order = list(fullorder(gotstate))
+        state.exchanged_labels = set(state.order)
+        state.highprimary = state.current.id
+        state.established_current = True
+        state.established[state.current.id] = True
+        # Sequence the content that arrived before establishment, in
+        # arrival order, after the exchanged prefix.
+        for label in state.pending_content:
+            if label not in state.order:
+                state.order.append(label)
+        state.pending_content = []
+        self._snapshot_order(state)
+
+    def eff_sx_statesafe(self, state, p):
+        state.safe_labels |= state.exchanged_labels

@@ -1,0 +1,11 @@
+"""The static view-oriented group communication service VS (Figure 1).
+
+This is the modified version of the PODC'97 [12] VS specification used by
+the paper (Section 3): the initial view is the distinguished ``v0`` rather
+than the whole universe, and views are created in identifier order.
+"""
+
+from repro.vs.invariants import vs_invariants
+from repro.vs.spec import VSSpec
+
+__all__ = ["VSSpec", "vs_invariants"]

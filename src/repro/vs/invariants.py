@@ -1,0 +1,75 @@
+"""Invariants of the VS specification.
+
+Invariant 3.1 is the one the paper states; the others are sanity properties
+implicit in the figure (used to validate our executable encoding and the
+concrete stack).
+"""
+
+from repro.ioa.invariants import InvariantSuite
+
+
+def invariant_3_1(state):
+    """Invariant 3.1 (VS): created views have unique identifiers.
+
+    If ``v, v' ∈ created`` and ``v.id = v'.id`` then ``v = v'``.
+    """
+    by_id = {}
+    for view in state.created:
+        other = by_id.setdefault(view.id, view)
+        assert other == view, (
+            "two distinct created views share id {0}: {1} vs {2}".format(
+                view.id, other, view
+            )
+        )
+    return True
+
+
+def current_view_is_created(state):
+    """Every non-⊥ ``current-viewid[p]`` names a created view."""
+    created_ids = {view.id for view in state.created}
+    for p, g in state.current_viewid.items():
+        assert g is None or g in created_ids, (
+            "current-viewid[{0}] = {1} names no created view".format(p, g)
+        )
+    return True
+
+
+def pointers_within_queue(state):
+    """``next`` and ``next-safe`` never run past ``|queue[g]| + 1``."""
+    for (q, g), n in state.next.items():
+        assert n <= len(state.queue.get(g)) + 1, (
+            "next[{0},{1}] = {2} beyond queue".format(q, g, n)
+        )
+    for (q, g), n in state.next_safe.items():
+        assert n <= len(state.queue.get(g)) + 1, (
+            "next-safe[{0},{1}] = {2} beyond queue".format(q, g, n)
+        )
+    return True
+
+
+def safe_behind_delivery(state):
+    """``next-safe[q, g] <= next[q, g]``: safe never outruns delivery.
+
+    Not stated explicitly in the paper, but immediate from the
+    preconditions (VS-SAFE at q for position k requires everyone's --
+    including q's own -- ``next`` pointer past k).
+    """
+    for (q, g), ns in state.next_safe.items():
+        assert ns <= state.next.get((q, g)), (
+            "next-safe[{0},{1}] = {2} > next = {3}".format(
+                q, g, ns, state.next.get((q, g))
+            )
+        )
+    return True
+
+
+def vs_invariants():
+    """The invariant suite for VS executions."""
+    return InvariantSuite(
+        {
+            "VS 3.1 unique view ids": invariant_3_1,
+            "VS current view created": current_view_is_created,
+            "VS pointers within queue": pointers_within_queue,
+            "VS safe behind delivery": safe_behind_delivery,
+        }
+    )

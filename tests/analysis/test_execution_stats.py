@@ -1,0 +1,91 @@
+"""Unit tests for execution statistics."""
+
+import pytest
+
+from repro.analysis import (
+    action_mix,
+    delivery_completeness,
+    delivery_latencies,
+    summarize_trace,
+    view_lifecycles,
+)
+from repro.core import make_view
+from repro.ioa import act
+
+
+class TestTraceStats:
+    def _trace(self, v0, v1):
+        return [
+            act("dvs_gpsnd", "m", "p1"),
+            act("dvs_gprcv", "m", "p1", "p2"),
+            act("dvs_newview", v1, "p1"),
+            act("dvs_newview", v1, "p2"),
+            act("dvs_register", "p1"),
+            act("dvs_register", "p2"),
+            act("dvs_gprcv", "m2", "p1", "p1"),
+        ]
+
+    def test_action_mix(self, ):
+        v0 = make_view(0, {"p1", "p2"})
+        v1 = make_view(1, {"p1", "p2"})
+        mix = action_mix(self._trace(v0, v1))
+        assert mix["dvs_gprcv"] == 2
+        assert mix["dvs_newview"] == 2
+
+    def test_view_lifecycles(self):
+        v0 = make_view(0, {"p1", "p2"})
+        v1 = make_view(1, {"p1", "p2"})
+        lifecycles = view_lifecycles(self._trace(v0, v1), v0)
+        assert lifecycles[v0].deliveries == 1
+        assert lifecycles[v1].deliveries == 1
+        assert lifecycles[v1].totally_attempted
+        assert lifecycles[v1].totally_registered
+        assert lifecycles[v0].totally_registered  # initial view
+
+    def test_summarize(self):
+        v0 = make_view(0, {"p1", "p2"})
+        v1 = make_view(1, {"p1", "p2"})
+        stats = summarize_trace(self._trace(v0, v1), v0)
+        assert stats.views_reported == 2
+        assert stats.views_totally_registered == 2
+        assert stats.deliveries == 2
+        rows = dict((r[0], r[1]) for r in stats.rows())
+        assert rows["client deliveries"] == 2
+
+    def test_partial_registration(self):
+        v0 = make_view(0, {"p1", "p2"})
+        v1 = make_view(1, {"p1", "p2"})
+        trace = [
+            act("dvs_newview", v1, "p1"),
+            act("dvs_register", "p1"),
+        ]
+        lifecycles = view_lifecycles(trace, v0)
+        assert not lifecycles[v1].totally_attempted
+        assert not lifecycles[v1].totally_registered
+
+
+class TestClusterStats:
+    def test_latencies_and_completeness(self):
+        from repro.gcs.cluster import Cluster
+
+        c = Cluster(list("abc"), seed=2).start()
+        c.settle(max_time=60)
+        c.bcast("a", "x1")
+        c.bcast("b", "x2")
+        c.settle(max_time=300)
+        latencies = delivery_latencies(c)
+        # two payloads x three receivers
+        assert len(latencies) == 6
+        assert all(lat > 0 for _, _, lat in latencies)
+        assert delivery_completeness(c) == 1.0
+
+    def test_completeness_partial_during_partition(self):
+        from repro.gcs.cluster import Cluster
+
+        c = Cluster(list("abcde"), seed=3).start()
+        c.settle(max_time=60)
+        c.partition({"a", "b", "c"}, {"d", "e"})
+        c.settle(max_time=60)
+        c.bcast("a", "only-majority")
+        c.settle(max_time=300)
+        assert 0 < delivery_completeness(c) < 1.0

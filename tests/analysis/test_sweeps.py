@@ -1,0 +1,63 @@
+"""Unit tests for the parameter sweeps."""
+
+import pytest
+
+from repro.analysis import (
+    ascii_series,
+    crossover_point,
+    sweep_drift_rate,
+    sweep_register_lag,
+)
+from repro.analysis.sweeps import SweepPoint
+
+UNIVERSE = ["p{0}".format(i) for i in range(1, 6)]
+
+
+class TestDriftSweep:
+    def test_point_per_parameter(self):
+        points = sweep_drift_rate(
+            UNIVERSE, [0.0, 0.02], steps=80, repeats=1
+        )
+        assert [p.parameter for p in points] == [0.0, 0.02]
+        assert all(0 <= p.static <= 1 for p in points)
+        assert all(0 <= p.dynamic <= 1 for p in points)
+
+    def test_zero_drift_rules_agree(self):
+        (point,) = sweep_drift_rate(UNIVERSE, [0.0], steps=150, repeats=2)
+        assert abs(point.static - point.dynamic) < 0.15
+
+    def test_heavy_drift_starves_static(self):
+        (point,) = sweep_drift_rate(UNIVERSE, [0.05], steps=200, repeats=2)
+        assert point.dynamic > point.static
+
+
+class TestLagSweep:
+    def test_static_is_lag_independent(self):
+        points = sweep_register_lag(UNIVERSE, [0, 3], steps=100, repeats=1)
+        assert points[0].static == points[1].static
+
+    def test_lag_never_helps(self):
+        points = sweep_register_lag(
+            UNIVERSE, [0, 2, 4], steps=150, repeats=2
+        )
+        dynamics = [p.dynamic for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(dynamics, dynamics[1:]))
+
+
+class TestHelpers:
+    def test_crossover_detection(self):
+        points = [
+            SweepPoint(0.0, static=0.9, dynamic=0.8),
+            SweepPoint(0.1, static=0.5, dynamic=0.7),
+        ]
+        assert crossover_point(points) == 0.1
+
+    def test_no_crossover(self):
+        points = [SweepPoint(0.0, static=0.9, dynamic=0.8)]
+        assert crossover_point(points) is None
+
+    def test_ascii_series_renders(self):
+        points = [SweepPoint(0.5, static=0.25, dynamic=0.75)]
+        art = ascii_series(points, width=8)
+        assert "S|" in art and "D|" in art
+        assert "0.25" in art and "0.75" in art

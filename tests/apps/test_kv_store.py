@@ -1,0 +1,83 @@
+"""End-to-end tests for the replicated key-value store."""
+
+import pytest
+
+from repro.apps import KvStoreCluster
+
+
+class TestStableCluster:
+    def test_puts_replicate_everywhere(self):
+        kv = KvStoreCluster(list("abc"), seed=1).start()
+        kv.settle(max_time=60)
+        kv.replica("a").put("x", 1)
+        kv.replica("b").put("y", 2)
+        kv.settle(max_time=200)
+        for pid in "abc":
+            assert kv.replica(pid).snapshot() == {"x": 1, "y": 2}
+        assert kv.consistent()
+
+    def test_delete(self):
+        kv = KvStoreCluster(list("abc"), seed=2).start()
+        kv.settle(max_time=60)
+        kv.replica("a").put("x", 1)
+        kv.settle(max_time=100)
+        kv.replica("b").delete("x")
+        kv.settle(max_time=100)
+        for pid in "abc":
+            assert kv.replica(pid).get("x") is None
+
+    def test_same_key_last_writer_in_total_order_wins(self):
+        kv = KvStoreCluster(list("abc"), seed=3).start()
+        kv.settle(max_time=60)
+        kv.replica("a").put("k", "from-a")
+        kv.replica("b").put("k", "from-b")
+        kv.settle(max_time=200)
+        values = {kv.replica(p).get("k") for p in "abc"}
+        assert len(values) == 1  # everyone agrees, whichever won
+
+    def test_local_read_default(self):
+        kv = KvStoreCluster(list("abc"), seed=4).start()
+        assert kv.replica("a").get("missing", default=0) == 0
+
+
+class TestPartitionedCluster:
+    def test_minority_write_stalls_then_applies(self):
+        kv = KvStoreCluster(list("abcde"), seed=5).start()
+        kv.settle(max_time=60)
+        kv.partition({"a", "b", "c"}, {"d", "e"})
+        kv.settle(max_time=60)
+        kv.replica("d").put("z", 9)
+        kv.settle(max_time=200)
+        assert kv.replica("d").get("z") is None
+        kv.heal()
+        kv.settle(max_time=400)
+        for pid in "abcde":
+            assert kv.replica(pid).get("z") == 9
+        assert kv.consistent()
+
+    def test_majority_side_stays_live(self):
+        kv = KvStoreCluster(list("abcde"), seed=6).start()
+        kv.settle(max_time=60)
+        kv.partition({"a", "b", "c"}, {"d", "e"})
+        kv.settle(max_time=60)
+        kv.replica("a").put("x", 1)
+        kv.settle(max_time=200)
+        assert kv.replica("b").get("x") == 1
+        assert kv.replica("c").get("x") == 1
+        assert kv.replica("d").get("x") is None
+
+    def test_stale_reads_are_prefixes_not_forks(self):
+        kv = KvStoreCluster(list("abcde"), seed=7).start()
+        kv.settle(max_time=60)
+        kv.replica("a").put("x", 1)
+        kv.settle(max_time=100)
+        kv.partition({"a", "b", "c"}, {"d", "e"})
+        kv.settle(max_time=60)
+        kv.replica("a").put("x", 2)
+        kv.settle(max_time=200)
+        # The minority lags at x=1, which is a prefix state, not a fork.
+        assert kv.replica("d").get("x") == 1
+        assert kv.consistent()
+        kv.heal()
+        kv.settle(max_time=400)
+        assert kv.replica("d").get("x") == 2

@@ -1,0 +1,84 @@
+"""Tests for the replicated load balancer."""
+
+import pytest
+
+from repro.apps.load_balancer import LoadBalancedCluster
+
+
+class TestStableDispatch:
+    def test_round_robin_over_primary(self):
+        lb = LoadBalancedCluster(list("abc"), seed=1).start()
+        lb.settle(max_time=60)
+        for i in range(6):
+            lb.submit("a", "t{0}".format(i))
+        lb.settle(max_time=400)
+        assert lb.agreed()
+        load = lb.load()
+        assert sum(load.values()) == 6
+        assert all(count == 2 for count in load.values())
+
+    def test_all_nodes_agree_on_every_assignment(self):
+        lb = LoadBalancedCluster(list("abcd"), seed=2).start()
+        lb.settle(max_time=60)
+        for i, pid in enumerate("abcd"):
+            lb.submit(pid, "task-{0}".format(i))
+        lb.settle(max_time=400)
+        assignments = [
+            lb.balancer(pid).assignments for pid in lb.cluster.processes
+        ]
+        assert all(a == assignments[0] for a in assignments)
+
+    def test_my_tasks_matches_assignments(self):
+        lb = LoadBalancedCluster(list("abc"), seed=3).start()
+        lb.settle(max_time=60)
+        for i in range(5):
+            lb.submit("b", "t{0}".format(i))
+        lb.settle(max_time=400)
+        for pid in "abc":
+            balancer = lb.balancer(pid)
+            mine = [
+                t for t, w in balancer.assignments.items() if w == pid
+            ]
+            assert sorted(mine) == sorted(balancer.my_tasks)
+
+
+class TestPartitionedDispatch:
+    def test_partition_tasks_go_to_primary_members(self):
+        lb = LoadBalancedCluster(list("abcde"), seed=4).start()
+        lb.settle(max_time=60)
+        lb.partition({"a", "b", "c"}, {"d", "e"})
+        lb.settle(max_time=80)
+        for i in range(6):
+            lb.submit("a", "pt{0}".format(i))
+        lb.settle(max_time=400)
+        # Assigned within the 3-member primary only.
+        workers = set(lb.balancer("a").assignments.values())
+        assert workers <= {"a", "b", "c"}
+        assert lb.agreed()
+
+    def test_minority_submission_dispatches_after_heal(self):
+        lb = LoadBalancedCluster(list("abcde"), seed=5).start()
+        lb.settle(max_time=60)
+        lb.partition({"a", "b", "c"}, {"d", "e"})
+        lb.settle(max_time=80)
+        lb.submit("d", "queued-task")
+        lb.settle(max_time=200)
+        assert "queued-task" not in lb.balancer("d").assignments
+        lb.heal()
+        lb.settle(max_time=500)
+        assert "queued-task" in lb.balancer("d").assignments
+        assert lb.agreed()
+
+    def test_lagging_node_reaches_same_assignments(self):
+        lb = LoadBalancedCluster(list("abcde"), seed=6).start()
+        lb.settle(max_time=60)
+        lb.partition({"a", "b", "c"}, {"d", "e"})
+        lb.settle(max_time=80)
+        for i in range(4):
+            lb.submit("b", "w{0}".format(i))
+        lb.settle(max_time=300)
+        lb.heal()
+        lb.settle(max_time=600)
+        assert (
+            lb.balancer("d").assignments == lb.balancer("a").assignments
+        )

@@ -1,0 +1,70 @@
+"""Unit tests for the generic replicated state machine."""
+
+import pytest
+
+from repro.apps import ReplicatedStateMachine, StateMachine
+from repro.gcs.cluster import Cluster
+
+
+class Adder(StateMachine):
+    def __init__(self):
+        self.total = 0
+
+    def apply(self, command, origin):
+        self.total += command
+        return self.total
+
+
+class TestReplication:
+    def _cluster(self, seed=1):
+        cluster = Cluster(list("abc"), seed=seed)
+        replicas = {
+            pid: ReplicatedStateMachine(cluster.to[pid], Adder())
+            for pid in cluster.processes
+        }
+        cluster.start()
+        cluster.settle(max_time=60)
+        return cluster, replicas
+
+    def test_all_replicas_apply_same_sequence(self):
+        cluster, replicas = self._cluster()
+        replicas["a"].submit(5)
+        replicas["b"].submit(7)
+        cluster.settle(max_time=300)
+        logs = {tuple(r.command_log()) for r in replicas.values()}
+        assert len(logs) == 1
+        assert all(r.machine.total == 12 for r in replicas.values())
+
+    def test_results_recorded_per_application(self):
+        cluster, replicas = self._cluster(seed=2)
+        replicas["a"].submit(1)
+        replicas["a"].submit(2)
+        cluster.settle(max_time=300)
+        r = replicas["c"]
+        assert r.log_length == 2
+        # Running totals reflect application order.
+        results = [result for _, _, result in r.applied]
+        assert results == sorted(results)
+
+    def test_base_class_requires_apply(self):
+        with pytest.raises(NotImplementedError):
+            StateMachine().apply("x", "p")
+
+    def test_origin_passed_through(self):
+        class OriginRecorder(StateMachine):
+            def __init__(self):
+                self.origins = []
+
+            def apply(self, command, origin):
+                self.origins.append(origin)
+
+        cluster = Cluster(list("ab"), seed=3)
+        replicas = {
+            pid: ReplicatedStateMachine(cluster.to[pid], OriginRecorder())
+            for pid in cluster.processes
+        }
+        cluster.start()
+        cluster.settle(max_time=60)
+        replicas["b"].submit("cmd")
+        cluster.settle(max_time=200)
+        assert replicas["a"].machine.origins == ["b"]

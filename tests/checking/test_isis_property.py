@@ -1,0 +1,83 @@
+"""Experiment E9: DVS does not provide the Isis same-messages property.
+
+Section 7 discusses the Isis guarantee (processes moving together between
+views received exactly the same messages in the earlier view) and notes
+that DVS deliberately omits it because totally ordered broadcast does not
+need it.  These tests make both halves concrete: violations are reachable
+in DVS executions, and the TO trace properties hold regardless.
+"""
+
+import pytest
+
+from repro.checking.isis_property import (
+    find_isis_counterexample,
+    isis_violations,
+)
+from repro.core import make_view
+from repro.ioa import act
+
+
+class TestViolationSearch:
+    def test_dvs_executions_violate_isis(self):
+        result = find_isis_counterexample(max_seeds=10, steps=2000)
+        assert result is not None, (
+            "no Isis violation found -- DVS would be stronger than stated"
+        )
+        seed, violations, execution = result
+        violation = violations[0]
+        assert violation.only_first or violation.only_second
+
+    def test_to_unharmed_on_violating_execution(self):
+        from repro.checking import check_dvs_trace_properties
+
+        result = find_isis_counterexample(max_seeds=10, steps=2000)
+        assert result is not None
+        _, _, execution = result
+        # The DVS guarantees still hold on the very same execution.
+        check_dvs_trace_properties(
+            execution.trace(), make_view(0, ["p1", "p2", "p3"])
+        )
+
+
+class TestDetector:
+    def _trace(self, v0, v1, deliveries_p1, deliveries_p2):
+        trace = []
+        for m, q in deliveries_p1:
+            trace.append(act("dvs_gprcv", m, q, "p1"))
+        for m, q in deliveries_p2:
+            trace.append(act("dvs_gprcv", m, q, "p2"))
+        trace.append(act("dvs_newview", v1, "p1"))
+        trace.append(act("dvs_newview", v1, "p2"))
+        return trace
+
+    def test_equal_deliveries_ok(self):
+        v0 = make_view(0, {"p1", "p2"})
+        v1 = make_view(1, {"p1", "p2"})
+        trace = self._trace(v0, v1, [("m", "p2")], [("m", "p2")])
+        assert isis_violations(trace, v0) == []
+
+    def test_diverging_deliveries_detected(self):
+        v0 = make_view(0, {"p1", "p2"})
+        v1 = make_view(1, {"p1", "p2"})
+        trace = self._trace(v0, v1, [("m", "p2")], [])
+        violations = isis_violations(trace, v0)
+        assert len(violations) == 1
+        assert violations[0].earlier_view == v0
+        assert violations[0].later_view == v1
+
+    def test_processes_moving_differently_not_compared(self):
+        # p2 skips v1 entirely: no pair moves together, no violation.
+        v0 = make_view(0, {"p1", "p2"})
+        v1 = make_view(1, {"p1"})
+        trace = [
+            act("dvs_gprcv", "m", "p2", "p1"),
+            act("dvs_newview", v1, "p1"),
+        ]
+        assert isis_violations(trace, v0) == []
+
+    def test_str_rendering(self):
+        v0 = make_view(0, {"p1", "p2"})
+        v1 = make_view(1, {"p1", "p2"})
+        trace = self._trace(v0, v1, [("m", "p2")], [])
+        text = str(isis_violations(trace, v0)[0])
+        assert "moved" in text and "p1" in text

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core import make_view
+from repro.core.viewids import ViewId
+from repro.core.views import View
+
+
+@pytest.fixture
+def three_procs():
+    return ["p1", "p2", "p3"]
+
+
+@pytest.fixture
+def five_procs():
+    return ["p1", "p2", "p3", "p4", "p5"]
+
+
+@pytest.fixture
+def v0(three_procs):
+    return make_view(0, three_procs)
+
+
+@pytest.fixture
+def v0_five(five_procs):
+    return make_view(0, five_procs)
+
+
+def view(epoch, members, origin=""):
+    """Test helper: a view with a bare-epoch identifier."""
+    return View(ViewId(epoch, origin), frozenset(members))

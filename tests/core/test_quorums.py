@@ -1,0 +1,74 @@
+"""Unit tests for static quorum systems."""
+
+import itertools
+
+import pytest
+
+from repro.core.quorums import MajorityQuorums, WeightedMajorityQuorums
+
+
+class TestMajorityQuorums:
+    def test_strict_majority(self):
+        qs = MajorityQuorums("abcd")
+        assert not qs.is_quorum("ab")
+        assert qs.is_quorum("abc")
+
+    def test_outside_universe_ignored(self):
+        qs = MajorityQuorums("abc")
+        assert not qs.is_quorum({"x", "y", "z"})
+        assert qs.is_quorum({"a", "b", "x"})
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            MajorityQuorums([])
+
+    def test_pairwise_intersection_exhaustive(self):
+        universe = "abcde"
+        qs = MajorityQuorums(universe)
+        quorums = [
+            set(c)
+            for size in range(1, 6)
+            for c in itertools.combinations(universe, size)
+            if qs.is_quorum(c)
+        ]
+        for a in quorums:
+            for b in quorums:
+                assert a & b
+
+    def test_check_intersection_helper(self):
+        qs = MajorityQuorums("abcde")
+        assert qs.check_intersection(["abc", "cde", "abcd", "ab"])
+
+
+class TestWeightedMajorityQuorums:
+    def test_weighted(self):
+        qs = WeightedMajorityQuorums({"a": 3, "b": 1, "c": 1})
+        assert qs.is_quorum({"a"})          # 3 of 5
+        assert not qs.is_quorum({"b", "c"})  # 2 of 5
+
+    def test_equal_weights_match_majority(self):
+        w = WeightedMajorityQuorums({p: 1 for p in "abcd"})
+        m = MajorityQuorums("abcd")
+        for size in range(5):
+            for combo in itertools.combinations("abcd", size):
+                assert w.is_quorum(combo) == m.is_quorum(combo)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            WeightedMajorityQuorums({})
+        with pytest.raises(ValueError):
+            WeightedMajorityQuorums({"a": -1, "b": 2})
+        with pytest.raises(ValueError):
+            WeightedMajorityQuorums({"a": 0})
+
+    def test_disjoint_quorums_impossible(self):
+        qs = WeightedMajorityQuorums({"a": 2, "b": 2, "c": 1, "d": 1})
+        quorums = [
+            set(c)
+            for size in range(1, 5)
+            for c in itertools.combinations("abcd", size)
+            if qs.is_quorum(c)
+        ]
+        for a in quorums:
+            for b in quorums:
+                assert a & b

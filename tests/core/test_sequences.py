@@ -1,0 +1,86 @@
+"""Unit tests for the Section 2 sequence calculus."""
+
+import pytest
+
+from repro.core.sequences import (
+    applytoall,
+    head,
+    is_consistent,
+    is_prefix,
+    lub,
+    nth,
+    remove_head,
+)
+
+
+class TestPrefix:
+    def test_empty_is_prefix_of_all(self):
+        assert is_prefix([], [1, 2])
+        assert is_prefix([], [])
+
+    def test_proper_prefix(self):
+        assert is_prefix([1, 2], [1, 2, 3])
+
+    def test_equal_sequences(self):
+        assert is_prefix([1, 2], [1, 2])
+
+    def test_not_prefix(self):
+        assert not is_prefix([1, 3], [1, 2, 3])
+        assert not is_prefix([1, 2, 3], [1, 2])
+
+    def test_accepts_tuples(self):
+        assert is_prefix((1,), [1, 2])
+
+
+class TestConsistency:
+    def test_chain_is_consistent(self):
+        assert is_consistent([[1], [1, 2], [1, 2, 3], []])
+
+    def test_divergent_is_inconsistent(self):
+        assert not is_consistent([[1, 2], [1, 3]])
+
+    def test_empty_collection(self):
+        assert is_consistent([])
+
+
+class TestLub:
+    def test_lub_of_chain(self):
+        assert lub([[1], [1, 2, 3], [1, 2]]) == [1, 2, 3]
+
+    def test_lub_of_empty(self):
+        assert lub([]) == []
+
+    def test_lub_rejects_inconsistent(self):
+        with pytest.raises(ValueError):
+            lub([[1, 2], [1, 3]])
+
+    def test_lub_all_empty(self):
+        assert lub([[], []]) == []
+
+
+class TestApplyToAll:
+    def test_mapping(self):
+        assert applytoall(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_empty(self):
+        assert applytoall(lambda x: x, []) == []
+
+
+class TestIndexing:
+    def test_nth_is_one_based(self):
+        assert nth([10, 20, 30], 1) == 10
+        assert nth([10, 20, 30], 3) == 30
+
+    def test_nth_out_of_range(self):
+        assert nth([10], 0) is None
+        assert nth([10], 2) is None
+        assert nth([], 1) is None
+
+    def test_head(self):
+        assert head([5, 6]) == 5
+        assert head([]) is None
+
+    def test_remove_head(self):
+        queue = [1, 2, 3]
+        assert remove_head(queue) == 1
+        assert queue == [2, 3]

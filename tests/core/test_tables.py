@@ -1,0 +1,89 @@
+"""Unit tests for sparse state tables."""
+
+import copy
+
+from repro.core.tables import Table
+
+
+class TestReads:
+    def test_get_returns_default_when_absent(self):
+        t = Table(list)
+        assert t.get("x") == []
+
+    def test_get_default_is_fresh(self):
+        t = Table(list)
+        t.get("x").append(1)
+        assert t.get("x") == []
+
+    def test_contains(self):
+        t = Table(lambda: 0)
+        assert "k" not in t
+        t["k"] = 1
+        assert "k" in t
+
+
+class TestWrites:
+    def test_at_materializes(self):
+        t = Table(list)
+        t.at("x").append(1)
+        assert t.get("x") == [1]
+
+    def test_setitem(self):
+        t = Table(lambda: 1)
+        t["a"] = 5
+        assert t.get("a") == 5
+
+    def test_composite_keys(self):
+        t = Table(lambda: 1)
+        t[("p", "g")] = 3
+        assert t.get(("p", "g")) == 3
+        assert t.get(("p", "h")) == 1
+
+
+class TestValueSemantics:
+    def test_default_entries_invisible(self):
+        a = Table(list)
+        b = Table(list)
+        a["x"] = []  # explicitly stored default
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_nondefault_entries_compared(self):
+        a = Table(list)
+        b = Table(list)
+        a.at("x").append(1)
+        assert a != b
+        b.at("x").append(1)
+        assert a == b
+
+    def test_counter_defaults(self):
+        a = Table(lambda: 1)
+        b = Table(lambda: 1)
+        a["k"] = 1
+        assert a == b
+        a["k"] = 2
+        assert a != b
+
+    def test_hash_consistent(self):
+        a = Table(lambda: 0, {"x": 1})
+        b = Table(lambda: 0, {"x": 1, "y": 0})
+        assert hash(a) == hash(b)
+
+    def test_nondefault_items(self):
+        t = Table(lambda: False, {"a": True, "b": False})
+        assert t.nondefault_items() == {"a": True}
+
+
+class TestCopying:
+    def test_deepcopy_isolates(self):
+        t = Table(list)
+        t.at("x").append(1)
+        clone = copy.deepcopy(t)
+        clone.at("x").append(2)
+        assert t.get("x") == [1]
+        assert clone.get("x") == [1, 2]
+
+    def test_deepcopy_keeps_default(self):
+        t = Table(lambda: 7)
+        clone = copy.deepcopy(t)
+        assert clone.get("anything") == 7

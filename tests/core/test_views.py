@@ -1,0 +1,66 @@
+"""Unit tests for views."""
+
+import pytest
+
+from repro.core.views import View, make_view
+from repro.core.viewids import ViewId
+
+
+class TestConstruction:
+    def test_make_view_from_epoch(self):
+        v = make_view(3, {"a", "b"})
+        assert v.id == ViewId(3)
+        assert v.set == frozenset({"a", "b"})
+
+    def test_make_view_from_viewid(self):
+        vid = ViewId(2, "p")
+        assert make_view(vid, "ab").id == vid
+
+    def test_members_coerced_to_frozenset(self):
+        v = View(ViewId(1), {"a"})
+        assert isinstance(v.members, frozenset)
+
+    def test_empty_membership_rejected(self):
+        with pytest.raises(ValueError):
+            View(ViewId(1), frozenset())
+
+    def test_hashable(self):
+        assert len({make_view(1, "ab"), make_view(1, "ab")}) == 1
+
+    def test_set_alias(self):
+        v = make_view(1, "abc")
+        assert v.set is v.members
+
+
+class TestMajorityOf:
+    def test_strict_majority_required(self):
+        w = make_view(1, {"a", "b", "c", "d"})
+        assert not make_view(2, {"a", "b"}).majority_of(w)  # exactly half
+        assert make_view(2, {"a", "b", "c"}).majority_of(w)
+
+    def test_majority_of_odd(self):
+        w = make_view(1, {"a", "b", "c"})
+        assert make_view(2, {"b", "c"}).majority_of(w)
+        assert not make_view(2, {"c"}).majority_of(w)
+
+    def test_disjoint_is_not_majority(self):
+        w = make_view(1, {"a"})
+        assert not make_view(2, {"b"}).majority_of(w)
+
+    def test_singleton(self):
+        w = make_view(1, {"a"})
+        assert make_view(2, {"a", "b"}).majority_of(w)
+
+
+class TestIntersects:
+    def test_intersecting(self):
+        assert make_view(1, "ab").intersects(make_view(2, "bc"))
+
+    def test_disjoint(self):
+        assert not make_view(1, "ab").intersects(make_view(2, "cd"))
+
+    def test_majority_implies_intersection(self):
+        w = make_view(1, "abc")
+        v = make_view(2, "bcz")
+        assert v.majority_of(w)
+        assert v.intersects(w)

@@ -1,0 +1,97 @@
+"""The mechanized Theorem 5.9: DVS-IMPL refines DVS via ℱ (Figure 4)."""
+
+import pytest
+
+from repro.core import make_view
+from repro.checking import build_closed_dvs_impl, random_view_pool
+from repro.dvs import (
+    dvs_refinement_checker,
+    dvs_spec_invariants,
+    refinement_f,
+)
+from repro.ioa import run_random
+
+
+WEIGHTS = {
+    "vs_createview": 0.2,
+    "vs_newview": 1.0,
+    "dvs_newview": 2.0,
+    "dvs_register": 2.0,
+    "dvs_garbage_collect": 1.5,
+}
+
+
+def run_impl(seed, universe=None, budget=2, steps=1200, pool_size=5):
+    universe = universe or ["p1", "p2", "p3", "p4"]
+    v0 = make_view(0, universe[:3])
+    pool = random_view_pool(universe, pool_size, seed=seed + 11, min_size=2)
+    system, procs = build_closed_dvs_impl(
+        v0, universe, view_pool=pool, budget=budget
+    )
+    ex = run_random(system, steps, seed=seed, weights=WEIGHTS)
+    return ex, procs, v0, universe
+
+
+class TestInitialCorrespondence:
+    def test_f_maps_initial_to_initial(self):
+        ex, procs, v0, universe = run_impl(seed=0, steps=0)
+        checker = dvs_refinement_checker(procs, v0, universe)
+        checker.check_initial(ex.initial_state)
+
+
+class TestStepCorrespondence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_theorem_5_9_along_random_executions(self, seed):
+        ex, procs, v0, universe = run_impl(seed=seed)
+        checker = dvs_refinement_checker(procs, v0, universe)
+        total_abstract = checker.check_execution(ex)
+        # Every external dvs_* action must appear in the abstract run too.
+        externals = sum(
+            1 for a in ex.actions() if a.name.startswith("dvs_")
+            and a.name != "dvs_garbage_collect"
+        )
+        assert total_abstract >= externals
+
+    def test_newview_of_fresh_view_uses_createview(self):
+        from repro.dvs.refinement import lemma_5_8_hints
+
+        ex, procs, v0, universe = run_impl(seed=3)
+        checker = dvs_refinement_checker(procs, v0, universe)
+        checker.check_initial(ex.initial_state)
+        create_then_new = 0
+        for step in ex.steps:
+            fragment = checker.check_step(step)
+            if step.action.name == "dvs_newview" and len(fragment) == 2:
+                assert fragment[0].name == "dvs_createview"
+                assert fragment[1].name == "dvs_newview"
+                create_then_new += 1
+        # At least the initial view changes exercise the two-step case.
+        newviews = sum(1 for a in ex.actions() if a.name == "dvs_newview")
+        if newviews:
+            assert create_then_new >= 1
+
+
+class TestAbstractStatesAreSpecReachable:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mapped_states_satisfy_spec_invariants(self, seed):
+        """Invariants 4.1/4.2 hold on ℱ(s) for every reachable impl state.
+
+        Together with Theorem 5.9 this is how the paper transfers the DVS
+        guarantees to the implementation.
+        """
+        ex, procs, v0, universe = run_impl(seed=seed)
+        mapping = refinement_f(procs, v0, universe)
+        suite = dvs_spec_invariants()
+        for state in ex.states():
+            suite.check_state(mapping(state))
+
+    def test_mapping_fields(self):
+        ex, procs, v0, universe = run_impl(seed=1, steps=400)
+        mapping = refinement_f(procs, v0, universe)
+        t = mapping(ex.final_state)
+        # created = union of attempted histories; always contains v0.
+        assert v0 in t.created
+        # registered/attempted tables only mention created view ids.
+        created_ids = {v.id for v in t.created}
+        for g in t.attempted.nondefault_items():
+            assert g in created_ids

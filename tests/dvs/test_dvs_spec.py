@@ -1,0 +1,142 @@
+"""Unit and execution tests for the DVS specification (Figure 2)."""
+
+import pytest
+
+from repro.core import make_view
+from repro.dvs import DVSSpec, dvs_spec_invariants, tot_reg
+from repro.dvs.spec import attempted_views, reg_views, tot_att
+from repro.checking import (
+    build_closed_dvs_spec,
+    check_dvs_trace_properties,
+    grid_view_pool,
+    random_view_pool,
+)
+from repro.ioa import BoundedExplorer, InvariantSuite, act, run_random
+from repro.ioa.errors import ActionNotEnabled
+
+
+@pytest.fixture
+def dvs(v0):
+    return DVSSpec(v0, universe={"p1", "p2", "p3"})
+
+
+def register_all(dvs, state, view):
+    for p in view.set:
+        state = dvs.apply(state, act("dvs_newview", view, p))
+        state = dvs.apply(state, act("dvs_register", p))
+    return state
+
+
+class TestCreateViewPrecondition:
+    def test_duplicate_id_rejected(self, dvs, v0):
+        s = dvs.initial_state()
+        with pytest.raises(ActionNotEnabled):
+            dvs.apply(s, act("dvs_createview", make_view(0, {"p1"})))
+
+    def test_must_intersect_initial_view(self, dvs):
+        s = dvs.initial_state()
+        # {p1,p2} intersects v0: fine.
+        s = dvs.apply(s, act("dvs_createview", make_view(1, {"p1", "p2"})))
+        # A view disjoint from v0 (fresh process only) is rejected.
+        with pytest.raises(ActionNotEnabled):
+            dvs.apply(s, act("dvs_createview", make_view(2, {"p9"})))
+
+    def test_out_of_order_creation_allowed(self, dvs):
+        s = dvs.initial_state()
+        s = dvs.apply(s, act("dvs_createview", make_view(5, {"p1", "p2"})))
+        s = dvs.apply(s, act("dvs_createview", make_view(3, {"p2", "p3"})))
+        assert len(s.created) == 3
+
+    def test_total_registration_releases_intersection(self, dvs, v0):
+        s = dvs.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        s = dvs.apply(s, act("dvs_createview", v1))
+        s = register_all(dvs, s, v1)
+        assert v1 in tot_reg(s)
+        # v2 disjoint from v0 is now fine: v1 is totally registered and
+        # lies between them ... but v2 must still intersect v1 itself.
+        with pytest.raises(ActionNotEnabled):
+            dvs.apply(s, act("dvs_createview", make_view(2, {"p3"})))
+        s = dvs.apply(s, act("dvs_createview", make_view(2, {"p2", "p3"})))
+        assert make_view(2, {"p2", "p3"}) in s.created
+
+    def test_disjoint_from_old_view_allowed_after_intervening_tot_reg(
+        self, dvs, v0
+    ):
+        s = dvs.initial_state()
+        v1 = make_view(1, {"p1", "p2", "p3"})
+        s = dvs.apply(s, act("dvs_createview", v1))
+        s = register_all(dvs, s, v1)
+        # v0 = {p1,p2,p3}; a new view {p1} intersects v1; its relation to
+        # v0 is covered by the totally registered v1 in between?  v1.id is
+        # not strictly between g0 and g2 relative to v0... it is: g0 < g1 < g2.
+        s = dvs.apply(s, act("dvs_createview", make_view(2, {"p1"})))
+        assert make_view(2, {"p1"}) in s.created
+
+
+class TestRegisterAndDerived:
+    def test_register_records_current_view(self, dvs, v0):
+        s = dvs.initial_state()
+        s = dvs.apply(s, act("dvs_register", "p1"))
+        assert s.registered.get(v0.id) == v0.set  # already init-registered
+
+    def test_derived_sets(self, dvs, v0):
+        s = dvs.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        s = dvs.apply(s, act("dvs_createview", v1))
+        assert attempted_views(s) == {v0}
+        s = dvs.apply(s, act("dvs_newview", v1, "p1"))
+        assert v1 in attempted_views(s)
+        assert v1 not in tot_att(s)
+        s = dvs.apply(s, act("dvs_newview", v1, "p2"))
+        assert v1 in tot_att(s)
+        assert v1 not in reg_views(s)
+        s = dvs.apply(s, act("dvs_register", "p1"))
+        assert v1 in reg_views(s)
+        assert v1 not in tot_reg(s)
+        s = dvs.apply(s, act("dvs_register", "p2"))
+        assert v1 in tot_reg(s)
+
+    def test_register_with_no_view_is_noop(self, v0):
+        dvs = DVSSpec(v0, universe={"p1", "p2", "p3", "p9"})
+        s = dvs.initial_state()
+        s2 = dvs.apply(s, act("dvs_register", "p9"))
+        assert s2 == s
+
+
+class TestInvariantsUnderExecution:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_runs(self, v0, three_procs, seed):
+        pool = random_view_pool(three_procs, 5, seed=seed + 40)
+        system, procs = build_closed_dvs_spec(v0, three_procs, view_pool=pool)
+        suite = dvs_spec_invariants()
+        ex = run_random(
+            system,
+            1500,
+            seed=seed,
+            weights={"dvs_createview": 0.1, "dvs_newview": 0.7},
+        )
+        for state in ex.states():
+            suite.check_state(state.part("dvs"))
+        check_dvs_trace_properties(ex.trace(), v0)
+
+    def test_exhaustive_small_config(self):
+        v0 = make_view(0, {"p1", "p2"})
+        pool = grid_view_pool({"p1", "p2"}, max_epoch=1)
+        system, procs = build_closed_dvs_spec(
+            v0, {"p1", "p2"}, view_pool=pool, budget=1
+        )
+        suite = dvs_spec_invariants()
+
+        def lifted(state):
+            suite.check_state(state.part("dvs"))
+            return True
+
+        result = BoundedExplorer(
+            system,
+            invariants=InvariantSuite({"dvs suite": lifted}),
+            max_states=300000,
+        ).explore()
+        assert result.complete
+        assert result.violation is None
+        assert result.states_visited > 100

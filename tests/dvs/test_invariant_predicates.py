@@ -1,0 +1,130 @@
+"""The DVS invariant predicates must *detect* violations.
+
+Each paper invariant gets a hand-built violating state; a predicate that
+cannot reject it would make the randomized/exhaustive campaigns vacuous.
+"""
+
+import pytest
+
+from repro.core import make_view
+from repro.core.tables import Table
+from repro.dvs.invariants import invariant_4_1, invariant_4_2
+from repro.dvs.spec import DVSState
+from repro.ioa import State
+
+
+def dvs_state(universe=("p1", "p2", "p3", "p4")):
+    v0 = make_view(0, universe)
+    return DVSState(v0, sorted(universe)), v0
+
+
+class TestInvariant41:
+    def test_disjoint_without_separation_rejected(self):
+        state, v0 = dvs_state()
+        a = make_view(1, {"p1", "p2"})
+        b = make_view(2, {"p3", "p4"})
+        state.created |= {a, b}
+        with pytest.raises(AssertionError):
+            invariant_4_1(state)
+
+    def test_disjoint_with_intervening_tot_reg_ok(self):
+        state, v0 = dvs_state()
+        a = make_view(1, {"p1", "p2"})
+        x = make_view(2, {"p1", "p3"})
+        b = make_view(3, {"p3", "p4"})
+        state.created |= {a, x, b}
+        # x totally registered separates a and b; but b must still
+        # intersect x, and a–x / x–b pairs intersect.
+        state.registered[x.id] = frozenset(x.set)
+        assert invariant_4_1(state)
+
+    def test_overlapping_views_ok(self):
+        state, v0 = dvs_state()
+        state.created |= {
+            make_view(1, {"p1", "p2"}),
+            make_view(2, {"p2", "p3"}),
+        }
+        assert invariant_4_1(state)
+
+
+class TestInvariant42:
+    def test_stale_members_with_totally_attempted_later_view_rejected(self):
+        state, v0 = dvs_state()
+        w = make_view(1, {"p1", "p2"})
+        state.created.add(w)
+        state.attempted[w.id] = frozenset(w.set)  # totally attempted
+        # ...but every member of v0 still has current-viewid g0.
+        with pytest.raises(AssertionError):
+            invariant_4_2(state)
+
+    def test_advanced_member_satisfies(self):
+        state, v0 = dvs_state()
+        w = make_view(1, {"p1", "p2"})
+        state.created.add(w)
+        state.attempted[w.id] = frozenset(w.set)
+        state.current_viewid["p1"] = w.id
+        assert invariant_4_2(state)
+
+    def test_partial_attempt_not_constrained(self):
+        state, v0 = dvs_state()
+        w = make_view(1, {"p1", "p2"})
+        state.created.add(w)
+        state.attempted[w.id] = frozenset({"p1"})
+        assert invariant_4_2(state)
+
+
+class TestToInvariantPredicates:
+    def _impl(self):
+        from repro.to.impl import build_to_impl
+
+        universe = ["p1", "p2"]
+        v0 = make_view(0, universe)
+        system = build_to_impl(v0, universe)
+        return system, system.initial_state(), universe, v0
+
+    def test_6_1_rejects_summary_of_uncreated_view(self):
+        from repro.core.viewids import ViewId
+        from repro.to.impl import ToImplState
+        from repro.to.invariants import invariant_6_1
+        from repro.to.summaries import Summary
+
+        system, state, universe, v0 = self._impl()
+        ghost = Summary(con=frozenset(), ord=(), next=1,
+                        high=ViewId(9, "zz"))
+        state.part("dvs_to_to:p1").gotstate["p2"] = ghost
+        with pytest.raises(AssertionError):
+            invariant_6_1(ToImplState(state, universe))
+
+    def test_6_2_rejects_establishment_without_movement(self):
+        from repro.to.impl import ToImplState
+        from repro.to.invariants import invariant_6_2
+        from repro.to.summaries import Summary
+
+        system, state, universe, v0 = self._impl()
+        w = make_view(1, universe)
+        dvs = state.part("dvs")
+        dvs.created.add(w)
+        dvs.attempted[w.id] = frozenset(w.set)
+        # A summary claims w is established, but nobody moved past v0.
+        high = Summary(con=frozenset(), ord=(), next=1, high=w.id)
+        state.part("dvs_to_to:p1").gotstate["p2"] = high
+        with pytest.raises(AssertionError):
+            invariant_6_2(ToImplState(state, universe))
+
+    def test_confirmed_prefix_divergence_rejected(self):
+        from repro.core.viewids import ViewId
+        from repro.to.impl import ToImplState
+        from repro.to.invariants import confirmed_prefixes_consistent
+        from repro.to.summaries import Label
+
+        system, state, universe, v0 = self._impl()
+        l1 = Label(v0.id, 1, "p1")
+        l2 = Label(v0.id, 1, "p2")
+        app1 = state.part("dvs_to_to:p1")
+        app2 = state.part("dvs_to_to:p2")
+        app1.order = [l1]
+        app1.nextconfirm = 2
+        app2.order = [l2]
+        app2.nextconfirm = 2
+        with pytest.raises(AssertionError):
+            confirmed_prefixes_consistent(ToImplState(state, universe))

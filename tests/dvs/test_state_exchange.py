@@ -1,0 +1,134 @@
+"""Tests for the SX-DVS variation (Section 7 extension)."""
+
+import pytest
+
+from repro.core import make_view
+from repro.checking import random_view_pool
+from repro.checking.harness import build_closed_sx_dvs_impl
+from repro.dvs import dvs_impl_invariants
+from repro.dvs.spec import tot_reg
+from repro.dvs.state_exchange import (
+    SXDVSSpec,
+    StateMsg,
+    VsToSxDvs,
+    bundle_of,
+    sx_refinement_checker,
+)
+from repro.dvs.invariants import invariant_4_1, invariant_4_2
+from repro.ioa import act, run_random
+from repro.ioa.errors import ActionNotEnabled
+
+UNIVERSE = ["p1", "p2", "p3"]
+
+
+@pytest.fixture
+def v0():
+    return make_view(0, UNIVERSE)
+
+
+@pytest.fixture
+def spec(v0):
+    return SXDVSSpec(v0, universe=UNIVERSE)
+
+
+class TestSpecExchange:
+    def test_sendstate_recorded_once(self, spec, v0):
+        s = spec.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        s = spec.apply(s, act("dvs_createview", v1))
+        s = spec.apply(s, act("dvs_newview", v1, "p1"))
+        s = spec.apply(s, act("sx_sendstate", "snap1", "p1"))
+        s = spec.apply(s, act("sx_sendstate", "other", "p1"))
+        assert dict(s.snapshots.get(v1.id)) == {"p1": "snap1"}
+
+    def test_statedelivery_needs_all_snapshots(self, spec, v0):
+        s = spec.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        s = spec.apply(s, act("dvs_createview", v1))
+        for p in ["p1", "p2"]:
+            s = spec.apply(s, act("dvs_newview", v1, p))
+        s = spec.apply(s, act("sx_sendstate", "s1", "p1"))
+        assert not any(
+            a.name == "sx_statedelivery" for a in spec.enabled_controlled(s)
+        )
+        s = spec.apply(s, act("sx_sendstate", "s2", "p2"))
+        bundle = bundle_of({"p1": "s1", "p2": "s2"})
+        assert spec.is_enabled(s, act("sx_statedelivery", bundle, "p1"))
+        s = spec.apply(s, act("sx_statedelivery", bundle, "p1"))
+        # Delivery IS registration.
+        assert "p1" in s.registered.get(v1.id)
+        # Only once per member.
+        assert not spec.is_enabled(s, act("sx_statedelivery", bundle, "p1"))
+
+    def test_statesafe_needs_everyone_registered(self, spec, v0):
+        s = spec.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        s = spec.apply(s, act("dvs_createview", v1))
+        for p in ["p1", "p2"]:
+            s = spec.apply(s, act("dvs_newview", v1, p))
+            s = spec.apply(s, act("sx_sendstate", "s" + p, p))
+        bundle = bundle_of({"p1": "sp1", "p2": "sp2"})
+        s = spec.apply(s, act("sx_statedelivery", bundle, "p1"))
+        assert not spec.is_enabled(s, act("sx_statesafe", "p1"))
+        s = spec.apply(s, act("sx_statedelivery", bundle, "p2"))
+        assert v1 in tot_reg(s)
+        s = spec.apply(s, act("sx_statesafe", "p1"))
+        assert "p1" in s.statesafe.get(v1.id)
+
+    def test_createview_precondition_inherited(self, spec, v0):
+        s = spec.initial_state()
+        with pytest.raises(ActionNotEnabled):
+            spec.apply(s, act("dvs_createview", make_view(1, {"p9"})))
+
+    def test_invariants_4x_hold_under_random_runs(self, v0):
+        from repro.checking.drivers import SxClientDriver
+        from repro.ioa.composition import Composition
+
+        pool = random_view_pool(UNIVERSE, 4, seed=3, min_size=2)
+        spec = SXDVSSpec(v0, universe=UNIVERSE, view_pool=pool)
+        clients = [SxClientDriver(p, budget=2) for p in UNIVERSE]
+        system = Composition([spec] + clients, name="closed_sxdvs")
+        ex = run_random(system, 1500, seed=5,
+                        weights={"dvs_createview": 0.1})
+        for state in ex.states():
+            part = state.part("dvs")
+            invariant_4_1(part)
+            invariant_4_2(part)
+
+
+class TestImplementation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_invariants_and_refinement(self, v0, seed):
+        pool = random_view_pool(UNIVERSE, 4, seed=seed + 9, min_size=2)
+        system, procs = build_closed_sx_dvs_impl(
+            v0, UNIVERSE, view_pool=pool, budget=2
+        )
+        ex = run_random(
+            system, 2000, seed=seed,
+            weights={"vs_createview": 0.1, "dvs_garbage_collect": 2.0},
+        )
+        dvs_impl_invariants(procs).check_execution(ex)
+        sx_refinement_checker(procs, v0, UNIVERSE).check_execution(ex)
+
+    def test_exchange_happens(self, v0):
+        pool = random_view_pool(UNIVERSE, 3, seed=11, min_size=3)
+        system, procs = build_closed_sx_dvs_impl(
+            v0, UNIVERSE, view_pool=pool, budget=1
+        )
+        ex = run_random(system, 2500, seed=0,
+                        weights={"vs_createview": 0.2})
+        names = {a.name for a in ex.actions()}
+        if "dvs_newview" in names:
+            assert "sx_sendstate" in names
+            assert "sx_statedelivery" in names
+
+    def test_statemsg_is_protocol_message(self):
+        from repro.core.messages import is_client_message
+
+        assert not is_client_message(StateMsg("x"))
+
+    def test_filter_initial_state(self, v0):
+        flt = VsToSxDvs("p1", v0)
+        s = flt.initial_state()
+        assert s.delivered_bundle.get(v0.id) is True
+        assert s.reported_safe.get(v0.id) is False

@@ -1,0 +1,158 @@
+"""Unit tests for the runtime DVS layer, driven through a fake stack."""
+
+import pytest
+
+from repro.core import make_view
+from repro.core.messages import InfoMsg, RegisteredMsg
+from repro.dvs.vs_to_dvs import AckMsg
+from repro.gcs.dvs_layer import DvsLayer, DvsListener
+
+
+class FakeStack:
+    """Stands in for VsStackNode: records gpsnd calls."""
+
+    def __init__(self, pid):
+        self.pid = pid
+        self.listener = None
+        self.sent = []
+
+    def gpsnd(self, payload):
+        self.sent.append(payload)
+
+
+class Sink(DvsListener):
+    def __init__(self):
+        self.views = []
+        self.delivered = []
+        self.safe = []
+
+    def on_dvs_newview(self, view):
+        self.views.append(view)
+
+    def on_dvs_gprcv(self, payload, sender):
+        self.delivered.append((payload, sender))
+
+    def on_dvs_safe(self, payload, sender):
+        self.safe.append((payload, sender))
+
+
+def layer(pids=("a", "b", "c")):
+    v0 = make_view(0, pids)
+    stack = FakeStack("a")
+    sink = Sink()
+    dvs = DvsLayer(stack, v0, listener=sink)
+    return dvs, stack, sink, v0
+
+
+class TestAttemptFlow:
+    def test_newview_sends_info_and_waits(self):
+        dvs, stack, sink, v0 = layer()
+        v1 = make_view(1, {"a", "b"})
+        dvs.on_vs_newview(v1)
+        assert isinstance(stack.sent[-1], InfoMsg)
+        assert sink.views == []  # waiting for b's info
+        dvs.on_vs_gprcv(InfoMsg(v0, frozenset()), "b")
+        assert sink.views == [v1]
+
+    def test_minority_view_rejected(self):
+        dvs, stack, sink, v0 = layer()
+        tiny = make_view(1, {"a"})
+        dvs.on_vs_newview(tiny)
+        assert sink.views == []  # {a} is no majority of v0
+
+    def test_pre_attempt_deliveries_buffered_then_flushed(self):
+        dvs, stack, sink, v0 = layer()
+        v1 = make_view(1, {"a", "b"})
+        dvs.on_vs_newview(v1)
+        dvs.on_vs_gprcv("early", "b")
+        assert sink.delivered == []
+        dvs.on_vs_gprcv(InfoMsg(v0, frozenset()), "b")
+        assert sink.delivered == [("early", "b")]
+
+    def test_buffered_deliveries_dropped_on_next_view(self):
+        dvs, stack, sink, v0 = layer()
+        v1 = make_view(1, {"a", "b"})
+        dvs.on_vs_newview(v1)
+        dvs.on_vs_gprcv("doomed", "b")
+        dvs.on_vs_newview(make_view(2, {"a", "b", "c"}))
+        for q in ["b", "c"]:
+            dvs.on_vs_gprcv(InfoMsg(v0, frozenset()), q)
+        assert ("doomed", "b") not in sink.delivered
+
+
+class TestAckedSafe:
+    def test_client_delivery_sends_ack(self):
+        dvs, stack, sink, v0 = layer()
+        dvs.on_vs_gprcv("m", "b")
+        assert AckMsg(1) in stack.sent
+
+    def test_safe_needs_all_members(self):
+        dvs, stack, sink, v0 = layer()
+        dvs.on_vs_gprcv("m", "b")
+        dvs.on_vs_gprcv(AckMsg(1), "a")
+        dvs.on_vs_gprcv(AckMsg(1), "b")
+        assert sink.safe == []
+        dvs.on_vs_gprcv(AckMsg(1), "c")
+        assert sink.safe == [("m", "b")]
+
+    def test_vs_safe_alone_is_ignored(self):
+        dvs, stack, sink, v0 = layer()
+        dvs.on_vs_gprcv("m", "b")
+        dvs.on_vs_safe("m", "b")
+        assert sink.safe == []
+
+    def test_safe_released_in_order(self):
+        dvs, stack, sink, v0 = layer()
+        dvs.on_vs_gprcv("m1", "b")
+        dvs.on_vs_gprcv("m2", "c")
+        for q in ["a", "b", "c"]:
+            dvs.on_vs_gprcv(AckMsg(2), q)
+        assert sink.safe == [("m1", "b"), ("m2", "c")]
+
+
+class TestRegistrationAndGc:
+    def _attempted_v1(self):
+        dvs, stack, sink, v0 = layer()
+        v1 = make_view(1, {"a", "b"})
+        dvs.on_vs_newview(v1)
+        dvs.on_vs_gprcv(InfoMsg(v0, frozenset()), "b")
+        assert sink.views == [v1]
+        return dvs, stack, sink
+
+    def test_initial_view_already_registered(self):
+        dvs, stack, sink, v0 = layer()
+        dvs.register()  # v0 starts registered: nothing to send
+        assert not any(isinstance(m, RegisteredMsg) for m in stack.sent)
+
+    def test_register_sends_registered(self):
+        dvs, stack, sink = self._attempted_v1()
+        dvs.register()
+        assert any(isinstance(m, RegisteredMsg) for m in stack.sent)
+
+    def test_register_idempotent(self):
+        dvs, stack, sink = self._attempted_v1()
+        dvs.register()
+        count = sum(1 for m in stack.sent if isinstance(m, RegisteredMsg))
+        dvs.register()
+        assert sum(
+            1 for m in stack.sent if isinstance(m, RegisteredMsg)
+        ) == count
+
+    def test_gc_advances_act_on_full_registration(self):
+        dvs, stack, sink, v0 = layer()
+        v1 = make_view(1, {"a", "b"})
+        dvs.on_vs_newview(v1)
+        dvs.on_vs_gprcv(InfoMsg(v0, frozenset()), "b")
+        assert dvs.act == v0
+        dvs.on_vs_gprcv(RegisteredMsg(), "a")
+        dvs.on_vs_gprcv(RegisteredMsg(), "b")
+        assert dvs.act == v1
+        assert dvs.amb == set()
+
+    def test_stranded_send_when_client_lags(self):
+        dvs, stack, sink, v0 = layer()
+        v1 = make_view(1, {"a", "b"})
+        dvs.on_vs_newview(v1)  # client still at v0
+        before = len(stack.sent)
+        dvs.gpsnd("stuck")
+        assert len(stack.sent) == before  # addressed to a dead view

@@ -1,0 +1,156 @@
+"""Tests for the runtime DVS and TO layers over the concrete stack."""
+
+import pytest
+
+from repro.checking import (
+    check_dvs_trace_properties,
+    check_to_trace_properties,
+)
+from repro.gcs.cluster import Cluster
+
+
+class TestDvsLayer:
+    def test_minority_never_gets_primary(self):
+        c = Cluster(list("abcde"), seed=1, with_to_layer=False).start()
+        c.settle(max_time=60)
+        c.partition({"a", "b", "c"}, {"d", "e"})
+        c.settle(max_time=120)
+        majority_views = c.primary_views("a")
+        minority_views = c.primary_views("d")
+        assert majority_views and majority_views[-1].set == frozenset("abc")
+        assert all(v.set != frozenset({"d", "e"}) for v in minority_views)
+
+    def test_majority_chain_continues_across_shrinks(self):
+        c = Cluster(list("abcde"), seed=2, with_to_layer=False).start()
+        c.settle(max_time=60)
+        for pid in "abcde":
+            c.dvs[pid].register()
+        c.settle(max_time=60)
+        c.partition({"a", "b", "c"}, {"d", "e"})
+        c.settle(max_time=60)
+        for pid in "abc":
+            c.dvs[pid].register()
+        c.settle(max_time=60)
+        c.partition({"a", "b"}, {"c"}, {"d", "e"})
+        c.settle(max_time=120)
+        # {a,b} is a majority of the registered primary {a,b,c}.
+        assert c.primary_views("a")[-1].set == frozenset("ab")
+
+    def test_unregistered_shrink_blocks_second_shrink(self):
+        """Without registration, ``use`` keeps the older views and the
+        majority check is against the *larger* earlier membership."""
+        c = Cluster(list("abcde"), seed=3, with_to_layer=False).start()
+        c.settle(max_time=60)
+        # No registers at all: act stays at the 5-member view.
+        c.partition({"a", "b", "c"}, {"d", "e"})
+        c.settle(max_time=60)
+        assert c.primary_views("a")[-1].set == frozenset("abc")
+        c.partition({"a", "b"}, {"c"}, {"d", "e"})
+        c.settle(max_time=120)
+        # {a,b} majority-intersects {a,b,c} but NOT the still-active
+        # 5-member view (2 of 5): no new primary for {a,b}.
+        assert c.primary_views("a")[-1].set == frozenset("abc")
+
+    def test_dvs_trace_properties_under_churn(self):
+        c = Cluster(list("abcd"), seed=4, with_to_layer=False).start()
+        c.settle(max_time=40)
+        for pid in "abcd":
+            c.dvs[pid].gpsnd(("m", pid, 0))
+            c.dvs[pid].register()
+        c.run(30)
+        c.partition({"a", "b", "c"}, {"d"})
+        c.run(40)
+        for pid in "abc":
+            c.dvs[pid].register()
+            c.dvs[pid].gpsnd(("m", pid, 1))
+        c.heal()
+        c.settle(max_time=300)
+        check_dvs_trace_properties(c.log.actions, c.initial_view)
+
+
+class TestToLayer:
+    def test_total_order_stable_group(self):
+        c = Cluster(list("abc"), seed=5).start()
+        c.settle(max_time=60)
+        for i in range(3):
+            for pid in "abc":
+                c.bcast(pid, ("a", pid, i))
+        c.settle(max_time=400)
+        logs = [tuple(c.delivered(p)) for p in "abc"]
+        assert len(set(logs)) == 1
+        assert len(logs[0]) == 9
+        check_to_trace_properties(c.log.actions)
+
+    def test_minority_broadcast_waits_for_heal(self):
+        c = Cluster(list("abcde"), seed=6).start()
+        c.settle(max_time=60)
+        c.partition({"a", "b", "c"}, {"d", "e"})
+        c.settle(max_time=60)
+        c.bcast("d", ("a", "d", 0))
+        c.settle(max_time=120)
+        assert ("a", "d", 0) not in [m for m, _ in c.delivered("d")]
+        c.heal()
+        c.settle(max_time=400)
+        assert (("a", "d", 0), "d") in c.delivered("d")
+        assert (("a", "d", 0), "d") in c.delivered("a")
+        check_to_trace_properties(c.log.actions)
+
+    def test_partition_era_majority_commits(self):
+        c = Cluster(list("abcde"), seed=7).start()
+        c.settle(max_time=60)
+        c.partition({"a", "b", "c"}, {"d", "e"})
+        c.settle(max_time=60)
+        c.bcast("a", ("a", "a", 0))
+        c.settle(max_time=200)
+        assert (("a", "a", 0), "a") in c.delivered("a")
+        assert (("a", "a", 0), "a") in c.delivered("b")
+        # The minority has not seen it.
+        assert (("a", "a", 0), "a") not in c.delivered("d")
+        c.heal()
+        c.settle(max_time=400)
+        assert (("a", "a", 0), "a") in c.delivered("d")
+        check_to_trace_properties(c.log.actions)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_fault_schedule_preserves_total_order(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        procs = list("abcde")
+        c = Cluster(procs, seed=seed).start()
+        counter = 0
+        for _ in range(6):
+            action = rng.random()
+            if action < 0.3:
+                k = rng.randint(1, 4)
+                group = set(rng.sample(procs, k))
+                rest = set(procs) - group
+                if rest:
+                    c.partition(group, rest)
+                else:
+                    c.heal()
+            elif action < 0.45:
+                c.heal()
+            else:
+                pid = rng.choice(procs)
+                c.bcast(pid, ("a", pid, counter))
+                counter += 1
+            c.run(rng.uniform(10, 40))
+        c.heal()
+        c.settle(max_time=600)
+        check_to_trace_properties(c.log.actions)
+
+
+class TestCrashRecoveryEndToEnd:
+    def test_crash_majority_continues(self):
+        c = Cluster(list("abc"), seed=8).start()
+        c.settle(max_time=60)
+        c.crash("c")
+        c.settle(max_time=60)
+        c.bcast("a", ("a", "a", 0))
+        c.settle(max_time=200)
+        assert (("a", "a", 0), "a") in c.delivered("b")
+        c.recover("c")
+        c.settle(max_time=300)
+        assert (("a", "a", 0), "a") in c.delivered("c")
+        check_to_trace_properties(c.log.actions)

@@ -1,0 +1,149 @@
+"""Protocol-level unit tests: driving VsStackNode handlers directly."""
+
+import pytest
+
+from repro.core import make_view
+from repro.core.viewids import ViewId
+from repro.core.views import View
+from repro.gcs.messages import (
+    Ack,
+    Collect,
+    Data,
+    Install,
+    Ordered,
+    SafeNote,
+    StateReply,
+)
+from repro.gcs.vs_stack import VsStackNode
+from repro.net import Network
+
+
+def wire(pids, seed=0):
+    v0 = make_view(0, pids)
+    net = Network(seed=seed)
+    nodes = {p: net.add_node(VsStackNode(p, initial_view=v0)) for p in pids}
+    net.start()
+    net.run_to_quiescence(max_time=50)  # let the initial round settle
+    return net, nodes, v0
+
+
+class TestMembershipRound:
+    def test_leader_runs_round_on_connectivity(self):
+        net, nodes, v0 = wire(["a", "b"])
+        # The initial round completed: both installed an identical view.
+        assert nodes["a"].view == nodes["b"].view
+        assert nodes["a"].view.set == frozenset({"a", "b"})
+        assert nodes["a"].view.id.origin == "a"  # leader minted the id
+
+    def test_collect_reply_carries_max_epoch(self):
+        net, nodes, v0 = wire(["a", "b"])
+        node = nodes["b"]
+        sent_before = len(net.log)
+        node._on_collect("a", Collect(("a", 99), frozenset({"a", "b"})))
+        reply_sends = [
+            d for _, k, d in net.log[sent_before:] if k == "send"
+        ]
+        assert len(reply_sends) == 1
+        _, dst, msg = reply_sends[0]
+        assert isinstance(msg, StateReply)
+        assert msg.max_epoch == node.max_epoch
+
+    def test_collect_for_other_membership_ignored(self):
+        net, nodes, v0 = wire(["a", "b"])
+        before = len(net.log)
+        nodes["b"]._on_collect("a", Collect(("a", 99), frozenset({"a"})))
+        assert len(net.log) == before
+
+    def test_install_only_newer_views(self):
+        net, nodes, v0 = wire(["a", "b"])
+        node = nodes["b"]
+        current = node.view
+        stale = View(ViewId(0, ""), frozenset({"a", "b"}))
+        node._on_install("a", Install(("a", 1), stale))
+        assert node.view == current
+
+    def test_install_for_non_member_ignored(self):
+        net, nodes, v0 = wire(["a", "b"])
+        node = nodes["b"]
+        other = View(ViewId(9, "z"), frozenset({"a"}))
+        node._on_install("a", Install(("z", 1), other))
+        assert node.view.set == frozenset({"a", "b"})
+
+    def test_install_raises_max_epoch(self):
+        net, nodes, v0 = wire(["a", "b"])
+        node = nodes["b"]
+        big = View(ViewId(40, "a"), frozenset({"a", "b"}))
+        node._on_install("a", Install(("a", 2), big))
+        assert node.max_epoch == 40
+
+
+class TestSequencer:
+    def test_data_assigns_consecutive_slots(self):
+        net, nodes, v0 = wire(["a", "b"])
+        leader = nodes["a"]
+        vid = leader.view.id
+        before = len(net.log)
+        leader._on_data("b", Data(vid, "m1", "b"))
+        leader._on_data("b", Data(vid, "m2", "b"))
+        ordered = [
+            d[2]
+            for _, k, d in net.log[before:]
+            if k == "send" and isinstance(d[2], Ordered)
+        ]
+        seqs = sorted({m.seq for m in ordered})
+        assert seqs == [1, 2]
+
+    def test_stale_view_data_dropped(self):
+        net, nodes, v0 = wire(["a", "b"])
+        leader = nodes["a"]
+        before = len(net.log)
+        leader._on_data("b", Data(ViewId(0, ""), "old", "b"))
+        new_sends = [1 for _, k, _ in net.log[before:] if k == "send"]
+        assert not new_sends
+
+    def test_out_of_order_delivery_buffers(self):
+        net, nodes, v0 = wire(["a", "b"])
+        node = nodes["b"]
+        vid = node.view.id
+        delivered = []
+        node.listener.on_vs_gprcv = (
+            lambda payload, sender: delivered.append(payload)
+        )
+        node._on_ordered("a", Ordered(vid, 2, "second", "a"))
+        assert delivered == []
+        node._on_ordered("a", Ordered(vid, 1, "first", "a"))
+        assert delivered == ["first", "second"]
+
+    def test_safe_note_reported_in_order_after_delivery(self):
+        net, nodes, v0 = wire(["a", "b"])
+        node = nodes["b"]
+        vid = node.view.id
+        safe = []
+        node.listener.on_vs_safe = (
+            lambda payload, sender: safe.append(payload)
+        )
+        node._on_safe_note("a", SafeNote(vid, 1))
+        assert safe == []  # not delivered yet
+        node._on_ordered("a", Ordered(vid, 1, "m", "a"))
+        assert safe == ["m"]
+
+    def test_leader_broadcasts_safe_on_full_acks(self):
+        net, nodes, v0 = wire(["a", "b"])
+        leader = nodes["a"]
+        vid = leader.view.id
+        leader._on_data("a", Data(vid, "m", "a"))
+        before = len(net.log)
+        leader._on_ack("a", Ack(vid, 1))
+        notes = [
+            1
+            for _, k, d in net.log[before:]
+            if k == "send" and isinstance(d[2], SafeNote)
+        ]
+        assert not notes  # b has not acked
+        leader._on_ack("b", Ack(vid, 1))
+        notes = [
+            1
+            for _, k, d in net.log[before:]
+            if k == "send" and isinstance(d[2], SafeNote)
+        ]
+        assert len(notes) == 2  # one note to each member

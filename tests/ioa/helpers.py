@@ -1,0 +1,83 @@
+"""Tiny toy automata used to exercise the IOA framework."""
+
+from repro.ioa import State, TransitionAutomaton, act
+
+
+class Counter(TransitionAutomaton):
+    """Counts ``tick`` outputs up to a limit; accepts ``reset`` inputs."""
+
+    name = "counter"
+    inputs = frozenset({"reset"})
+    outputs = frozenset({"tick"})
+
+    def __init__(self, limit=3, name="counter"):
+        self.limit = limit
+        self.name = name
+
+    def initial_state(self):
+        return State(count=0)
+
+    def pre_tick(self, state):
+        return state.count < self.limit
+
+    def eff_tick(self, state):
+        state.count += 1
+
+    def cand_tick(self, state):
+        if state.count < self.limit:
+            yield act("tick")
+
+    def eff_reset(self, state):
+        state.count = 0
+
+
+class TickListener(TransitionAutomaton):
+    """Hears ``tick``; emits ``reset`` after hearing ``threshold`` ticks."""
+
+    name = "listener"
+    inputs = frozenset({"tick"})
+    outputs = frozenset({"reset"})
+
+    def __init__(self, threshold=2, name="listener"):
+        self.threshold = threshold
+        self.name = name
+
+    def initial_state(self):
+        return State(heard=0)
+
+    def eff_tick(self, state):
+        state.heard += 1
+
+    def pre_reset(self, state):
+        return state.heard >= self.threshold
+
+    def eff_reset(self, state):
+        state.heard = 0
+
+    def cand_reset(self, state):
+        if state.heard >= self.threshold:
+            yield act("reset")
+
+
+class BoundedChannel(TransitionAutomaton):
+    """A FIFO channel: ``put(m)`` inputs, ``deliver(m)`` outputs."""
+
+    name = "channel"
+    inputs = frozenset({"put"})
+    outputs = frozenset({"deliver"})
+
+    def initial_state(self):
+        return State(queue=[])
+
+    def eff_put(self, state, m):
+        state.queue.append(m)
+
+    def pre_deliver(self, state, m):
+        return bool(state.queue) and state.queue[0] == m
+
+    def eff_deliver(self, state, m):
+        state.queue.pop(0)
+
+    def cand_deliver(self, state):
+        if state.queue:
+            yield act("deliver", state.queue[0])

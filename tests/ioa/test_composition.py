@@ -1,0 +1,84 @@
+"""Unit tests for composition and hiding."""
+
+import pytest
+
+from repro.ioa import Composition, CompositionError, Kind, act
+
+from tests.ioa.helpers import Counter, TickListener
+
+
+def make_system(hidden=()):
+    return Composition(
+        [Counter(limit=5), TickListener(threshold=2)], hidden=hidden
+    )
+
+
+class TestSignature:
+    def test_output_wins_over_input(self):
+        system = make_system()
+        assert system.action_kind(act("tick")) is Kind.OUTPUT
+        assert system.action_kind(act("reset")) is Kind.OUTPUT
+
+    def test_hidden_reclassified(self):
+        system = make_system(hidden={"tick"})
+        assert system.action_kind(act("tick")) is Kind.INTERNAL
+        assert "tick" not in system.outputs
+        assert "tick" in system.internals
+
+    def test_unknown_action(self):
+        assert make_system().action_kind(act("zap")) is None
+
+    def test_duplicate_component_names_rejected(self):
+        with pytest.raises(CompositionError):
+            Composition([Counter(), Counter()])
+
+    def test_duplicate_outputs_rejected(self):
+        with pytest.raises(CompositionError):
+            Composition([Counter(name="c1"), Counter(name="c2")])
+
+
+class TestSynchronization:
+    def test_shared_action_updates_both(self):
+        system = make_system()
+        s = system.initial_state()
+        s = system.apply(s, act("tick"))
+        assert s.part("counter").count == 1
+        assert s.part("listener").heard == 1
+
+    def test_reset_round_trip(self):
+        system = make_system()
+        s = system.initial_state()
+        s = system.apply(s, act("tick"))
+        s = system.apply(s, act("tick"))
+        assert act("reset") in system.enabled_controlled(s)
+        s = system.apply(s, act("reset"))
+        assert s.part("counter").count == 0
+        assert s.part("listener").heard == 0
+
+    def test_owner_precondition_gates_composition(self):
+        system = make_system()
+        s = system.initial_state()
+        assert not system.is_enabled(s, act("reset"))
+
+    def test_enabled_controlled_union(self):
+        system = make_system()
+        s = system.initial_state()
+        assert system.enabled_controlled(s) == [act("tick")]
+
+    def test_getitem_access(self):
+        system = make_system()
+        s = system.initial_state()
+        assert s["counter"].count == 0
+
+
+class TestTraces:
+    def test_hidden_actions_not_in_trace(self):
+        from repro.ioa import Execution
+
+        system = make_system(hidden={"tick"})
+        ex = Execution(system, system.initial_state())
+        ex.extend(act("tick"))
+        ex.extend(act("tick"))
+        ex.extend(act("reset"))
+        assert ex.trace() == [act("reset")]
+        assert len(ex.actions()) == 3

@@ -1,0 +1,167 @@
+"""Unit tests for executions, schedulers, invariants and the explorer."""
+
+import pytest
+
+from repro.ioa import (
+    BoundedExplorer,
+    Composition,
+    Execution,
+    InvariantSuite,
+    InvariantViolation,
+    RandomScheduler,
+    act,
+    run_random,
+)
+
+from tests.ioa.helpers import Counter, TickListener
+
+
+def make_system():
+    return Composition([Counter(limit=5), TickListener(threshold=2)])
+
+
+class TestExecution:
+    def test_extend_chains_states(self):
+        system = make_system()
+        ex = Execution(system, system.initial_state())
+        step = ex.extend(act("tick"))
+        assert step.state is ex.initial_state
+        assert ex.final_state is step.next_state
+        assert len(ex) == 1
+
+    def test_states_iteration(self):
+        system = make_system()
+        ex = Execution(system, system.initial_state())
+        ex.extend(act("tick"))
+        ex.extend(act("tick"))
+        assert len(list(ex.states())) == 3
+
+    def test_project_trace(self):
+        system = make_system()
+        ex = Execution(system, system.initial_state())
+        ex.extend(act("tick"))
+        ex.extend(act("tick"))
+        ex.extend(act("reset"))
+        assert ex.project_trace({"reset"}) == [act("reset")]
+
+
+class TestScheduler:
+    def test_deterministic_given_seed(self):
+        a = run_random(make_system(), 50, seed=4).actions()
+        b = run_random(make_system(), 50, seed=4).actions()
+        assert a == b
+
+    def test_different_seeds_can_differ(self):
+        runs = {
+            tuple(run_random(make_system(), 30, seed=s).actions())
+            for s in range(8)
+        }
+        assert len(runs) > 1
+
+    def test_quiescence_stops_run(self):
+        lonely = Composition([Counter(limit=2)])
+        ex = run_random(lonely, 100, seed=0)
+        assert len(ex) == 2  # two ticks then nothing enabled
+
+    def test_weights_bias_choice(self):
+        # With reset weight ~0, the counter saturates at its limit.
+        ex = run_random(
+            make_system(), 200, seed=1, weights={"reset": 1e-9}
+        )
+        resets = sum(1 for a in ex.actions() if a.name == "reset")
+        ticks = sum(1 for a in ex.actions() if a.name == "tick")
+        assert ticks > resets
+
+    def test_on_step_callback(self):
+        seen = []
+        run_random(make_system(), 10, seed=0, on_step=lambda s: seen.append(s))
+        assert len(seen) == 10
+
+    def test_choose_singleton_needs_no_rng(self):
+        sched = RandomScheduler()
+        assert sched.choose([act("x")]) == act("x")
+
+
+class TestInvariants:
+    def test_suite_passes(self):
+        system = make_system()
+        ex = run_random(system, 40, seed=2)
+        suite = InvariantSuite(
+            {"count bounded": lambda s: s.part("counter").count <= 5}
+        )
+        assert suite.check_execution(ex) == len(ex) + 1
+
+    def test_suite_raises_with_name(self):
+        suite = InvariantSuite({"always false": lambda s: False})
+        system = make_system()
+        with pytest.raises(InvariantViolation) as excinfo:
+            suite.check_state(system.initial_state())
+        assert "always false" in str(excinfo.value)
+
+    def test_assertion_message_propagates(self):
+        def pred(state):
+            assert False, "the details"
+
+        suite = InvariantSuite({"explained": pred})
+        with pytest.raises(InvariantViolation) as excinfo:
+            suite.check_state(make_system().initial_state())
+        assert "the details" in str(excinfo.value)
+
+    def test_violations_listing(self):
+        suite = InvariantSuite(
+            {"ok": lambda s: True, "bad": lambda s: False}
+        )
+        assert suite.violations(make_system().initial_state()) == ["bad"]
+
+
+class TestBoundedExplorer:
+    def test_explores_full_space(self):
+        system = make_system()
+        result = BoundedExplorer(system).explore()
+        assert result.complete
+        # Counter 0..5 x heard 0..5, reachable subset; just sanity-check
+        # that exploration saw both action types and a nontrivial space.
+        assert result.states_visited > 5
+        assert set(result.action_counts) == {"tick", "reset"}
+
+    def test_invariant_checked_everywhere(self):
+        system = make_system()
+        suite = InvariantSuite(
+            {"count bounded": lambda s: s.part("counter").count <= 5}
+        )
+        result = BoundedExplorer(system, invariants=suite).explore()
+        assert result.violation is None
+
+    def test_counterexample_path_recorded(self):
+        system = make_system()
+        suite = InvariantSuite(
+            {"never three": lambda s: s.part("counter").count != 3}
+        )
+        result = BoundedExplorer(system, invariants=suite).explore()
+        assert result.violation is not None
+        assert [a.name for a in result.counterexample] == ["tick"] * 3
+
+    def test_raises_when_asked(self):
+        system = make_system()
+        suite = InvariantSuite({"no": lambda s: s.part("counter").count == 0})
+        explorer = BoundedExplorer(
+            system, invariants=suite, stop_on_violation=False
+        )
+        with pytest.raises(InvariantViolation):
+            explorer.explore()
+
+    def test_max_states_truncates(self):
+        system = make_system()
+        result = BoundedExplorer(system, max_states=3).explore()
+        assert not result.complete
+        assert result.states_visited == 3
+
+    def test_max_depth_truncates(self):
+        system = make_system()
+        result = BoundedExplorer(system, max_depth=1).explore()
+        assert not result.complete
+        assert result.max_depth_reached <= 1
+
+    def test_summary_string(self):
+        result = BoundedExplorer(make_system()).explore()
+        assert "complete" in result.summary()

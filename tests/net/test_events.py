@@ -1,0 +1,90 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.net.events import EventQueue
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(3, lambda: fired.append("c"))
+        q.schedule(1, lambda: fired.append("a"))
+        q.schedule(2, lambda: fired.append("b"))
+        q.run_until(10)
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        q = EventQueue()
+        fired = []
+        for tag in "abc":
+            q.schedule(1, lambda t=tag: fired.append(t))
+        q.run_until(1)
+        assert fired == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda: None)
+
+    def test_now_advances(self):
+        q = EventQueue()
+        q.schedule(5, lambda: None)
+        q.run_until(7)
+        assert q.now == 7
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        fired = []
+
+        def first():
+            fired.append(1)
+            q.schedule(1, lambda: fired.append(2))
+
+        q.schedule(1, first)
+        q.run_until(5)
+        assert fired == [1, 2]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        q = EventQueue()
+        fired = []
+        handle = q.schedule(1, lambda: fired.append("x"))
+        q.cancel(handle)
+        q.run_until(5)
+        assert fired == []
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        h = q.schedule(1, lambda: None)
+        q.schedule(2, lambda: None)
+        q.cancel(h)
+        assert len(q) == 1
+
+
+class TestQuiescence:
+    def test_run_to_quiescence_counts(self):
+        q = EventQueue()
+        for _ in range(4):
+            q.schedule(1, lambda: None)
+        assert q.run_to_quiescence() == 4
+
+    def test_respects_max_time(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1, lambda: fired.append(1))
+        q.schedule(100, lambda: fired.append(2))
+        q.run_to_quiescence(max_time=10)
+        assert fired == [1]
+        # The far-future event is still queued.
+        assert len(q) == 1
+
+    def test_respects_max_events(self):
+        q = EventQueue()
+
+        def reschedule():
+            q.schedule(1, reschedule)
+
+        q.schedule(1, reschedule)
+        assert q.run_to_quiescence(max_events=50) == 50

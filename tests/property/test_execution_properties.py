@@ -1,0 +1,83 @@
+"""Property-based tests over randomized IOA executions.
+
+Hypothesis drives the *adversary* (seeds, pool shapes, scheduler
+weights); the checked properties are the paper's safety guarantees, which
+must hold for every generated execution.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checking import (
+    build_closed_dvs_impl,
+    build_closed_to_impl,
+    check_dvs_trace_properties,
+    check_to_trace_properties,
+    random_view_pool,
+)
+from repro.core import make_view
+from repro.dvs import dvs_impl_invariants, dvs_refinement_checker
+from repro.ioa import run_random
+from repro.to import to_impl_invariants
+
+SLOW = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestDvsImplProperties:
+    @SLOW
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        pool_seed=st.integers(min_value=0, max_value=10**6),
+        min_size=st.integers(min_value=1, max_value=3),
+        create_weight=st.floats(min_value=0.05, max_value=0.6),
+    )
+    def test_invariants_and_refinement(
+        self, seed, pool_seed, min_size, create_weight
+    ):
+        universe = ["p1", "p2", "p3", "p4"]
+        v0 = make_view(0, universe[:3])
+        pool = random_view_pool(universe, 4, seed=pool_seed,
+                                min_size=min_size)
+        system, procs = build_closed_dvs_impl(
+            v0, universe, view_pool=pool, budget=1
+        )
+        ex = run_random(
+            system,
+            700,
+            seed=seed,
+            weights={
+                "vs_createview": create_weight,
+                "dvs_register": 2.0,
+                "dvs_garbage_collect": 2.0,
+            },
+        )
+        dvs_impl_invariants(procs).check_execution(ex)
+        dvs_refinement_checker(procs, v0, procs).check_execution(ex)
+        check_dvs_trace_properties(ex.trace(), v0)
+
+
+class TestToImplProperties:
+    @SLOW
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        pool_seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_invariants_and_total_order(self, seed, pool_seed):
+        universe = ["p1", "p2", "p3"]
+        v0 = make_view(0, universe)
+        pool = random_view_pool(universe, 3, seed=pool_seed, min_size=2)
+        system, procs = build_closed_to_impl(
+            v0, universe, view_pool=pool, budget=2
+        )
+        ex = run_random(
+            system,
+            1800,
+            seed=seed,
+            weights={"dvs_createview": 0.08, "bcast": 1.0},
+        )
+        to_impl_invariants(procs).check_execution(ex)
+        check_to_trace_properties(ex.trace())

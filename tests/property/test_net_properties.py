@@ -1,0 +1,104 @@
+"""Property tests for the network simulator's delivery guarantees."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net import Network, Node
+
+PIDS = ["a", "b", "c"]
+
+
+class Recorder(Node):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+
+    def on_message(self, src, msg):
+        self.received.append((src, msg))
+
+
+def build(seed, min_latency, max_latency):
+    net = Network(seed=seed, min_latency=min_latency,
+                  max_latency=max_latency)
+    nodes = {p: net.add_node(Recorder(p)) for p in PIDS}
+    net.start()
+    return net, nodes
+
+
+class TestChannelFifo:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        min_latency=st.floats(min_value=0.1, max_value=5.0),
+        spread=st.floats(min_value=0.0, max_value=10.0),
+        count=st.integers(min_value=1, max_value=12),
+    )
+    def test_per_channel_fifo(self, seed, min_latency, spread, count):
+        net, nodes = build(seed, min_latency, min_latency + spread)
+        for i in range(count):
+            nodes["a"].send("b", ("m", i))
+        net.run_to_quiescence()
+        payloads = [m for _, m in nodes["b"].received]
+        assert payloads == [("m", i) for i in range(count)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_interleaved_channels_each_fifo(self, seed):
+        net, nodes = build(seed, 0.5, 3.0)
+        for i in range(6):
+            nodes["a"].send("c", ("from_a", i))
+            nodes["b"].send("c", ("from_b", i))
+        net.run_to_quiescence()
+        from_a = [m for src, m in nodes["c"].received if src == "a"]
+        from_b = [m for src, m in nodes["c"].received if src == "b"]
+        assert from_a == [("from_a", i) for i in range(6)]
+        assert from_b == [("from_b", i) for i in range(6)]
+
+
+class TestFaultSemantics:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        crash_first=st.booleans(),
+    )
+    def test_no_delivery_to_or_from_crashed(self, seed, crash_first):
+        net, nodes = build(seed, 0.5, 2.0)
+        if crash_first:
+            net.crash("b")
+            nodes["a"].send("b", "x")
+            nodes["b"].send("a", "y")
+        else:
+            nodes["a"].send("b", "x")
+            net.crash("b")
+        net.run_to_quiescence()
+        assert nodes["b"].received == []
+        assert all(src != "b" for src, _ in nodes["a"].received)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_partition_isolates_exactly(self, seed):
+        net, nodes = build(seed, 0.5, 2.0)
+        net.partition([{"a"}, {"b", "c"}])
+        nodes["a"].send("b", "cross")
+        nodes["b"].send("c", "within")
+        net.run_to_quiescence()
+        assert nodes["b"].received == []
+        assert ("b", "within") in nodes["c"].received
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_determinism(self, seed):
+        results = []
+        for _ in range(2):
+            net, nodes = build(seed, 0.5, 2.0)
+            nodes["a"].send("b", 1)
+            nodes["b"].send("c", 2)
+            nodes["c"].send("a", 3)
+            net.run_to_quiescence()
+            results.append(
+                tuple(
+                    (p, tuple(nodes[p].received)) for p in PIDS
+                )
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,56 @@
+"""Property tests driven by the public strategies in repro.checking."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.checking import strategies as strat
+from repro.core import make_view
+from repro.membership import DynamicVotingTracker
+from repro.to.summaries import fullorder
+
+
+class TestStrategiesAreWellFormed:
+    @given(strat.views())
+    def test_views_nonempty(self, view):
+        assert view.set
+
+    @given(strat.increasing_view_pools())
+    def test_pools_increasing(self, pool):
+        ids = [v.id for v in pool]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    @given(strat.configurations())
+    def test_configurations_partition(self, config):
+        seen = set()
+        for group in config:
+            assert group
+            assert not (group & seen)
+            seen |= group
+
+    @given(strat.gotstates())
+    def test_gotstates_feed_fullorder(self, gotstate):
+        order = fullorder(gotstate)
+        assert len(order) == len(set(order))
+
+
+class TestTrackerOverArbitraryScenarios:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(strat.scenarios())
+    def test_dynamic_voting_safe_on_any_history(self, scenario):
+        tracker = DynamicVotingTracker(make_view(0, strat.DEFAULT_PROCS))
+        for config in scenario:
+            tracker.observe(config)
+        assert tracker.disjoint_primary_incidents() == 0
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(strat.scenarios())
+    def test_primaries_have_unique_increasing_ids(self, scenario):
+        tracker = DynamicVotingTracker(make_view(0, strat.DEFAULT_PROCS))
+        seen = []
+        for config in scenario:
+            for view in tracker.observe(config):
+                seen.append(view.id)
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.seeds == 3
+        assert args.processes == 3
+
+
+class TestCommands:
+    def test_verify(self, capsys):
+        code = main(["verify", "--seeds", "1", "--steps", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "5.1-5.6" in out
+
+    def test_availability(self, capsys):
+        code = main(
+            ["availability", "--steps", "120", "--processes", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fixed population" in out
+        assert "drifting population" in out
+        assert "dynamic voting (DVS)" in out
+
+    def test_explore(self, capsys):
+        code = main(["explore", "--max-states", "3000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "invariants hold" in out
+
+    def test_isis(self, capsys):
+        code = main(["isis", "--seeds", "5", "--steps", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Isis" in out

@@ -1,0 +1,177 @@
+"""Unit tests for the ``DVS-TO-TO_p`` automaton (Figure 5)."""
+
+import pytest
+
+from repro.core import make_view
+from repro.core.viewids import G0, ViewId
+from repro.ioa import Kind, act
+from repro.to.dvs_to_to import COLLECT, NORMAL, SEND, DvsToTo
+from repro.to.summaries import Label, Summary
+
+
+@pytest.fixture
+def app(v0):
+    return DvsToTo("p1", v0)
+
+
+def label(epoch, seqno, origin):
+    return Label(ViewId(epoch), seqno, origin)
+
+
+class TestInitialState:
+    def test_member(self, app, v0):
+        s = app.initial_state()
+        assert s.current == v0
+        assert s.status == NORMAL
+        assert s.highprimary == G0
+        assert s.registered == {G0}
+        assert s.established.get(G0) is False
+
+    def test_outsider(self, v0):
+        outsider = DvsToTo("p9", v0)
+        s = outsider.initial_state()
+        assert s.current is None
+        assert s.registered == set()
+
+
+class TestLabelling:
+    def test_bcast_then_label(self, app, v0):
+        s = app.initial_state()
+        s = app.apply(s, act("bcast", "a1", "p1"))
+        assert s.delay == ["a1"]
+        s = app.apply(s, act("label", "a1", "p1"))
+        the_label = Label(v0.id, 1, "p1")
+        assert (the_label, "a1") in s.content
+        assert s.buffer == [the_label]
+        assert s.nextseqno == 2
+        assert s.delay == []
+
+    def test_label_requires_view(self, v0):
+        outsider = DvsToTo("p9", v0)
+        s = outsider.initial_state()
+        s = outsider.apply(s, act("bcast", "a1", "p9"))
+        assert not outsider.is_enabled(s, act("label", "a1", "p9"))
+
+    def test_labels_fifo_from_delay(self, app):
+        s = app.initial_state()
+        s = app.apply(s, act("bcast", "a1", "p1"))
+        s = app.apply(s, act("bcast", "a2", "p1"))
+        assert not app.is_enabled(s, act("label", "a2", "p1"))
+
+    def test_send_requires_normal_status(self, app, v0):
+        s = app.initial_state()
+        s = app.apply(s, act("bcast", "a1", "p1"))
+        s = app.apply(s, act("label", "a1", "p1"))
+        the_label = Label(v0.id, 1, "p1")
+        assert app.is_enabled(s, act("dvs_gpsnd", (the_label, "a1"), "p1"))
+        v1 = make_view(1, {"p1", "p2"})
+        s = app.apply(s, act("dvs_newview", v1, "p1"))
+        assert s.status == SEND
+        assert not app.is_enabled(
+            s, act("dvs_gpsnd", (the_label, "a1"), "p1")
+        )
+
+
+class TestNormalDelivery:
+    def test_receive_orders_and_confirms(self, app, v0):
+        s = app.initial_state()
+        l1 = Label(v0.id, 1, "p2")
+        s = app.apply(s, act("dvs_gprcv", (l1, "x"), "p2", "p1"))
+        assert s.order == [l1]
+        assert not app.is_enabled(s, act("confirm", "p1"))
+        s = app.apply(s, act("dvs_safe", (l1, "x"), "p2", "p1"))
+        assert l1 in s.safe_labels
+        s = app.apply(s, act("confirm", "p1"))
+        assert s.nextconfirm == 2
+
+    def test_duplicate_label_ordered_once(self, app, v0):
+        s = app.initial_state()
+        l1 = Label(v0.id, 1, "p2")
+        s = app.apply(s, act("dvs_gprcv", (l1, "x"), "p2", "p1"))
+        s = app.apply(s, act("dvs_gprcv", (l1, "x"), "p2", "p1"))
+        assert s.order == [l1]
+
+    def test_brcv_in_confirmed_order_with_attribution(self, app, v0):
+        s = app.initial_state()
+        l1 = Label(v0.id, 1, "p2")
+        s = app.apply(s, act("dvs_gprcv", (l1, "x"), "p2", "p1"))
+        s = app.apply(s, act("dvs_safe", (l1, "x"), "p2", "p1"))
+        s = app.apply(s, act("confirm", "p1"))
+        assert not app.is_enabled(s, act("brcv", "x", "p1", "p1"))
+        assert app.is_enabled(s, act("brcv", "x", "p2", "p1"))
+        s = app.apply(s, act("brcv", "x", "p2", "p1"))
+        assert s.nextreport == 2
+
+    def test_buildorder_snapshots(self, app, v0):
+        s = app.initial_state()
+        l1 = Label(v0.id, 1, "p2")
+        s = app.apply(s, act("dvs_gprcv", (l1, "x"), "p2", "p1"))
+        assert s.buildorder.get(v0.id) == (l1,)
+
+
+class TestRecovery:
+    def setup_view_change(self, app, v0):
+        s = app.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        s = app.apply(s, act("dvs_newview", v1, "p1"))
+        return s, v1
+
+    def test_newview_resets(self, app, v0):
+        s, v1 = self.setup_view_change(app, v0)
+        assert s.status == SEND
+        assert s.gotstate == {}
+        assert s.buffer == []
+        assert s.nextseqno == 1
+        assert s.safe_labels == set()
+
+    def test_summary_send_collect(self, app, v0):
+        s, v1 = self.setup_view_change(app, v0)
+        summary = Summary(con=frozenset(), ord=(), next=1, high=G0)
+        assert app.is_enabled(s, act("dvs_gpsnd", summary, "p1"))
+        s = app.apply(s, act("dvs_gpsnd", summary, "p1"))
+        assert s.status == COLLECT
+
+    def test_establishment(self, app, v0):
+        s, v1 = self.setup_view_change(app, v0)
+        my = Summary(con=frozenset(), ord=(), next=1, high=G0)
+        s = app.apply(s, act("dvs_gpsnd", my, "p1"))
+        l_old = Label(v0.id, 1, "p2")
+        other = Summary(
+            con=frozenset({(l_old, "x")}), ord=(l_old,), next=2,
+            high=v0.id,
+        )
+        s = app.apply(s, act("dvs_gprcv", my, "p1", "p1"))
+        assert s.status == COLLECT
+        s = app.apply(s, act("dvs_gprcv", other, "p2", "p1"))
+        assert s.status == NORMAL
+        assert s.established.get(v1.id) is True
+        assert s.highprimary == v1.id
+        assert s.order == [l_old]
+        assert s.nextconfirm == 2  # adopted from the max summary
+
+    def test_register_after_establishment(self, app, v0):
+        s, v1 = self.setup_view_change(app, v0)
+        assert not app.is_enabled(s, act("dvs_register", "p1"))
+        my = Summary(con=frozenset(), ord=(), next=1, high=G0)
+        s = app.apply(s, act("dvs_gpsnd", my, "p1"))
+        s = app.apply(s, act("dvs_gprcv", my, "p1", "p1"))
+        s = app.apply(s, act("dvs_gprcv", my, "p2", "p1"))
+        assert app.is_enabled(s, act("dvs_register", "p1"))
+        s = app.apply(s, act("dvs_register", "p1"))
+        assert v1.id in s.registered
+        assert not app.is_enabled(s, act("dvs_register", "p1"))
+
+    def test_safe_exchange_marks_labels(self, app, v0):
+        s, v1 = self.setup_view_change(app, v0)
+        l_old = Label(v0.id, 1, "p2")
+        my = Summary(con=frozenset(), ord=(), next=1, high=G0)
+        other = Summary(
+            con=frozenset({(l_old, "x")}), ord=(l_old,), next=1, high=v0.id
+        )
+        s = app.apply(s, act("dvs_gpsnd", my, "p1"))
+        s = app.apply(s, act("dvs_gprcv", my, "p1", "p1"))
+        s = app.apply(s, act("dvs_gprcv", other, "p2", "p1"))
+        s = app.apply(s, act("dvs_safe", my, "p1", "p1"))
+        assert s.safe_labels == set()
+        s = app.apply(s, act("dvs_safe", other, "p2", "p1"))
+        assert l_old in s.safe_labels

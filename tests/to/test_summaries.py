@@ -1,0 +1,101 @@
+"""Unit tests for labels, summaries and the recovery functions."""
+
+import pytest
+
+from repro.core.viewids import G0, ViewId
+from repro.to.summaries import (
+    Label,
+    Summary,
+    chosenrep,
+    fullorder,
+    knowncontent,
+    maxnextconfirm,
+    maxprimary,
+    reps,
+    shortorder,
+)
+
+
+def lab(epoch, seqno, origin):
+    return Label(ViewId(epoch), seqno, origin)
+
+
+class TestLabelOrdering:
+    def test_view_id_dominates(self):
+        assert lab(1, 99, "z") < lab(2, 1, "a")
+
+    def test_seqno_next(self):
+        assert lab(1, 1, "z") < lab(1, 2, "a")
+
+    def test_origin_breaks_ties(self):
+        assert lab(1, 1, "a") < lab(1, 1, "b")
+
+    def test_sortable_and_hashable(self):
+        labels = [lab(2, 1, "a"), lab(1, 2, "b"), lab(1, 1, "c")]
+        assert sorted(labels) == [lab(1, 1, "c"), lab(1, 2, "b"), lab(2, 1, "a")]
+        assert len({lab(1, 1, "a"), lab(1, 1, "a")}) == 1
+
+
+class TestSummary:
+    def test_coercion(self):
+        s = Summary(con={(lab(1, 1, "a"), "x")}, ord=[lab(1, 1, "a")],
+                    next=1, high=G0)
+        assert isinstance(s.con, frozenset)
+        assert isinstance(s.ord, tuple)
+
+    def test_hashable(self):
+        a = Summary(con=frozenset(), ord=(), next=1, high=G0)
+        b = Summary(con=frozenset(), ord=(), next=1, high=G0)
+        assert len({a, b}) == 1
+
+
+def make_gotstate():
+    l1, l2, l3 = lab(1, 1, "a"), lab(1, 1, "b"), lab(1, 2, "a")
+    return {
+        "a": Summary(
+            con={(l1, "x"), (l3, "z")}, ord=(l1,), next=2, high=ViewId(1)
+        ),
+        "b": Summary(
+            con={(l1, "x"), (l2, "y")}, ord=(l1, l2), next=1, high=ViewId(2)
+        ),
+        "c": Summary(con=set(), ord=(), next=1, high=ViewId(2)),
+    }, (l1, l2, l3)
+
+
+class TestRecoveryFunctions:
+    def test_knowncontent_unions(self):
+        gotstate, (l1, l2, l3) = make_gotstate()
+        assert knowncontent(gotstate) == {(l1, "x"), (l2, "y"), (l3, "z")}
+
+    def test_maxprimary(self):
+        gotstate, _ = make_gotstate()
+        assert maxprimary(gotstate) == ViewId(2)
+
+    def test_maxnextconfirm(self):
+        gotstate, _ = make_gotstate()
+        assert maxnextconfirm(gotstate) == 2
+
+    def test_reps_and_chosenrep_deterministic(self):
+        gotstate, _ = make_gotstate()
+        assert reps(gotstate) == {"b", "c"}
+        assert chosenrep(gotstate) == "b"
+
+    def test_shortorder_is_reps_order(self):
+        gotstate, (l1, l2, _) = make_gotstate()
+        assert shortorder(gotstate) == [l1, l2]
+
+    def test_fullorder_appends_remaining_sorted(self):
+        gotstate, (l1, l2, l3) = make_gotstate()
+        assert fullorder(gotstate) == [l1, l2, l3]
+
+    def test_fullorder_no_duplicates(self):
+        gotstate, _ = make_gotstate()
+        order = fullorder(gotstate)
+        assert len(order) == len(set(order))
+
+    def test_single_member(self):
+        l1 = lab(1, 1, "a")
+        gotstate = {
+            "a": Summary(con={(l1, "x")}, ord=(), next=1, high=G0)
+        }
+        assert fullorder(gotstate) == [l1]

@@ -1,0 +1,121 @@
+"""Tests for the simplified TO application over SX-DVS (Section 7)."""
+
+import pytest
+
+from repro.checking import (
+    check_to_trace_properties,
+    random_view_pool,
+)
+from repro.checking.harness import build_closed_sx_to_impl
+from repro.core import make_view
+from repro.core.viewids import G0
+from repro.ioa import act, run_random
+from repro.to.summaries import Label, Summary
+
+UNIVERSE = ["p1", "p2", "p3"]
+WEIGHTS = {"dvs_createview": 0.06, "bcast": 1.0}
+
+
+@pytest.fixture
+def v0():
+    return make_view(0, UNIVERSE)
+
+
+class TestUnit:
+    def test_sendstate_offers_current_summary(self, v0):
+        from repro.to.sx_total_order import SxTotalOrder
+
+        app = SxTotalOrder("p1", v0)
+        s = app.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        s = app.apply(s, act("dvs_newview", v1, "p1"))
+        offers = [
+            a for a in app.enabled_controlled(s)
+            if a.name == "sx_sendstate"
+        ]
+        assert len(offers) == 1
+        summary = offers[0].params[0]
+        assert isinstance(summary, Summary)
+        s = app.apply(s, offers[0])
+        assert s.sent_state
+        assert not list(
+            a for a in app.enabled_controlled(s)
+            if a.name == "sx_sendstate"
+        )
+
+    def test_statedelivery_establishes(self, v0):
+        from repro.to.sx_total_order import SxTotalOrder
+
+        app = SxTotalOrder("p1", v0)
+        s = app.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        s = app.apply(s, act("dvs_newview", v1, "p1"))
+        l_old = Label(v0.id, 1, "p2")
+        bundle = (
+            ("p1", Summary(con=frozenset(), ord=(), next=1, high=G0)),
+            ("p2", Summary(con=frozenset({(l_old, "x")}), ord=(l_old,),
+                           next=2, high=v0.id)),
+        )
+        s = app.apply(s, act("sx_statedelivery", bundle, "p1"))
+        assert s.established_current
+        assert s.order == [l_old]
+        assert s.nextconfirm == 2
+        assert s.highprimary == v1.id
+
+    def test_statesafe_confirms_exchanged(self, v0):
+        from repro.to.sx_total_order import SxTotalOrder
+
+        app = SxTotalOrder("p1", v0)
+        s = app.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        s = app.apply(s, act("dvs_newview", v1, "p1"))
+        l_old = Label(v0.id, 1, "p2")
+        bundle = (
+            ("p1", Summary(con=frozenset(), ord=(), next=1, high=G0)),
+            ("p2", Summary(con=frozenset({(l_old, "x")}), ord=(l_old,),
+                           next=1, high=v0.id)),
+        )
+        s = app.apply(s, act("sx_statedelivery", bundle, "p1"))
+        assert l_old not in s.safe_labels
+        s = app.apply(s, act("sx_statesafe", "p1"))
+        assert l_old in s.safe_labels
+
+    def test_no_recovery_state_machine(self, v0):
+        """The Section 7 payoff: no status/gotstate/safe-exch fields."""
+        from repro.to.sx_total_order import SxTotalOrder
+
+        app = SxTotalOrder("p1", v0)
+        s = app.initial_state()
+        assert not hasattr(s, "status")
+        assert not hasattr(s, "gotstate")
+        assert not hasattr(s, "safe_exch")
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_total_order_under_churn(self, v0, seed):
+        pool = random_view_pool(UNIVERSE, 4, seed=seed + 61, min_size=2)
+        system, procs = build_closed_sx_to_impl(
+            v0, UNIVERSE, view_pool=pool, budget=3
+        )
+        ex = run_random(system, 4000, seed=seed, weights=WEIGHTS)
+        stats = check_to_trace_properties(ex.trace())
+        assert stats["broadcasts"] == 9
+
+    def test_quiet_network_delivers_everything(self, v0):
+        system, procs = build_closed_sx_to_impl(v0, UNIVERSE, budget=2)
+        ex = run_random(system, 6000, seed=0, weights=WEIGHTS)
+        stats = check_to_trace_properties(ex.trace())
+        assert stats["deliveries"] == 6 * 3
+
+    def test_recovery_resumes_after_view_change(self, v0):
+        v1 = make_view(1, UNIVERSE)
+        system, procs = build_closed_sx_to_impl(
+            v0, UNIVERSE, view_pool=[v1], budget=2
+        )
+        ex = run_random(system, 8000, seed=2,
+                        weights={"dvs_createview": 0.4, "bcast": 1.0})
+        names = [a.name for a in ex.actions()]
+        if "dvs_newview" in names:
+            assert "sx_statedelivery" in names
+        check_to_trace_properties(ex.trace())

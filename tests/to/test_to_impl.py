@@ -1,0 +1,89 @@
+"""Execution tests for TO-IMPL: Invariants 6.1-6.3 and trace properties."""
+
+import pytest
+
+from repro.core import make_view
+from repro.checking import (
+    build_closed_to_impl,
+    check_to_trace_properties,
+    random_view_pool,
+)
+from repro.ioa import run_random
+from repro.to import to_impl_invariants
+from repro.to.impl import ToImplState, build_to_impl, build_to_over_dvs_impl
+
+WEIGHTS = {"dvs_createview": 0.05, "dvs_newview": 0.5, "bcast": 1.0}
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_invariants_and_trace(self, seed):
+        universe = ["p1", "p2", "p3"]
+        v0 = make_view(0, universe)
+        pool = random_view_pool(universe, 4, seed=seed + 100, min_size=2)
+        system, procs = build_closed_to_impl(
+            v0, universe, view_pool=pool, budget=3
+        )
+        ex = run_random(system, 4000, seed=seed, weights=WEIGHTS)
+        to_impl_invariants(procs).check_execution(ex)
+        stats = check_to_trace_properties(ex.trace())
+        assert stats["broadcasts"] == 9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_larger_universe(self, seed):
+        universe = ["p1", "p2", "p3", "p4"]
+        v0 = make_view(0, universe)
+        pool = random_view_pool(universe, 3, seed=seed + 9, min_size=3)
+        system, procs = build_closed_to_impl(
+            v0, universe, view_pool=pool, budget=2
+        )
+        ex = run_random(system, 5000, seed=seed, weights=WEIGHTS)
+        to_impl_invariants(procs).check_execution(ex)
+        check_to_trace_properties(ex.trace())
+
+
+class TestAllstate:
+    def test_initial_allstate_empty(self):
+        universe = ["p1", "p2", "p3"]
+        v0 = make_view(0, universe)
+        impl = build_to_impl(v0, universe)
+        state = ToImplState(impl.initial_state(), universe)
+        assert state.allstate() == set()
+
+    def test_allstate_collects_summaries(self):
+        universe = ["p1", "p2", "p3"]
+        v0 = make_view(0, universe)
+        pool = random_view_pool(universe, 2, seed=5, min_size=3)
+        system, procs = build_closed_to_impl(
+            v0, universe, view_pool=pool, budget=1
+        )
+        ex = run_random(system, 3000, seed=2, weights=WEIGHTS)
+        newviews = sum(1 for a in ex.actions() if a.name == "dvs_newview")
+        summaries = ToImplState(ex.final_state, procs).allstate()
+        if newviews:
+            assert summaries  # some state exchange happened and is visible
+
+
+class TestDeliveryProgress:
+    def test_quiet_network_delivers_everything(self):
+        """With no view changes at all, every broadcast is delivered to
+        every member (liveness in the stable case)."""
+        universe = ["p1", "p2", "p3"]
+        v0 = make_view(0, universe)
+        system, procs = build_closed_to_impl(v0, universe, budget=2)
+        ex = run_random(system, 6000, seed=1, weights=WEIGHTS)
+        stats = check_to_trace_properties(ex.trace())
+        assert stats["deliveries"] == 6 * 3  # 6 broadcasts x 3 receivers
+
+    def test_delivery_order_identical_across_processes(self):
+        universe = ["p1", "p2", "p3"]
+        v0 = make_view(0, universe)
+        system, procs = build_closed_to_impl(v0, universe, budget=2)
+        ex = run_random(system, 6000, seed=4, weights=WEIGHTS)
+        per_process = {}
+        for action in ex.trace():
+            if action.name == "brcv":
+                a, q, p = action.params
+                per_process.setdefault(p, []).append((a, q))
+        sequences = list(per_process.values())
+        assert len(set(map(tuple, sequences))) == 1  # all complete & equal

@@ -1,0 +1,91 @@
+"""The mechanized Theorem 6.4: TO-IMPL refines the TO service."""
+
+import pytest
+
+from repro.core import make_view
+from repro.checking import build_closed_to_impl, random_view_pool
+from repro.ioa import run_random
+from repro.to import to_refinement_checker
+from repro.to.refinement import all_confirm, to_refinement_f
+from repro.to.impl import ToImplState
+
+WEIGHTS = {"dvs_createview": 0.05, "dvs_newview": 0.5, "bcast": 1.0}
+
+
+def run_impl(seed, steps=4000):
+    universe = ["p1", "p2", "p3"]
+    v0 = make_view(0, universe)
+    pool = random_view_pool(universe, 4, seed=seed + 100, min_size=2)
+    system, procs = build_closed_to_impl(
+        v0, universe, view_pool=pool, budget=3
+    )
+    ex = run_random(system, steps, seed=seed, weights=WEIGHTS)
+    return ex, procs
+
+
+class TestInitialCorrespondence:
+    def test_initial_maps_to_initial(self):
+        ex, procs = run_impl(seed=0, steps=0)
+        to_refinement_checker(procs).check_initial(ex.initial_state)
+
+
+class TestStepCorrespondence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_theorem_6_4_along_random_executions(self, seed):
+        ex, procs = run_impl(seed=seed)
+        checker = to_refinement_checker(procs)
+        total = checker.check_execution(ex)
+        externals = sum(
+            1 for a in ex.actions() if a.name in ("bcast", "brcv")
+        )
+        assert total >= externals
+
+    def test_confirm_steps_map_to_order_or_stutter(self):
+        from repro.ioa.action import act as _  # noqa: F401
+
+        ex, procs = run_impl(seed=2)
+        checker = to_refinement_checker(procs)
+        checker.check_initial(ex.initial_state)
+        orders = 0
+        for step in ex.steps:
+            fragment = checker.check_step(step)
+            if step.action.name == "confirm":
+                assert all(a.name == "to_order" for a in fragment)
+                orders += len(fragment)
+            elif step.action.name in ("bcast", "brcv"):
+                assert [a.name for a in fragment].count(step.action.name) == 1
+        confirms = sum(1 for a in ex.actions() if a.name == "confirm")
+        if confirms:
+            assert orders >= 1
+
+
+class TestMappingInternals:
+    def test_all_confirm_is_lub_of_prefixes(self):
+        ex, procs = run_impl(seed=1)
+        impl = ToImplState(ex.final_state, procs)
+        confirmed = all_confirm(impl)
+        for p in procs:
+            app = impl.app(p)
+            prefix = list(app.order)[: app.nextconfirm - 1]
+            assert confirmed[: len(prefix)] == prefix
+
+    def test_pending_carries_delay_tail(self):
+        """The Section 6.2 adaptation: pending includes the delay buffer."""
+        universe = ["p1", "p2", "p3"]
+        v0 = make_view(0, universe)
+        system, procs = build_closed_to_impl(v0, universe, budget=1)
+        from repro.ioa.action import act
+
+        s = system.initial_state()
+        s = system.apply(s, act("bcast", ("a", "p1", 0), "p1"))
+        mapping = to_refinement_f(procs)
+        t = mapping(s)
+        assert t.pending["p1"] == [("a", "p1", 0)]
+
+    def test_order_entries_attributed(self):
+        ex, procs = run_impl(seed=3)
+        mapping = to_refinement_f(procs)
+        t = mapping(ex.final_state)
+        for payload, origin in t.order:
+            # Driver payloads carry their origin: ("a", pid, i).
+            assert payload[1] == origin

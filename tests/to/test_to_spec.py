@@ -1,0 +1,76 @@
+"""Unit tests for the TO service specification."""
+
+import pytest
+
+from repro.ioa import act
+from repro.ioa.errors import ActionNotEnabled
+from repro.to import TOSpec
+
+
+@pytest.fixture
+def to():
+    return TOSpec(["p1", "p2"])
+
+
+class TestOrdering:
+    def test_bcast_buffers(self, to):
+        s = to.initial_state()
+        s = to.apply(s, act("bcast", "a", "p1"))
+        assert s.pending["p1"] == ["a"]
+
+    def test_order_moves_any_pending(self, to):
+        s = to.initial_state()
+        s = to.apply(s, act("bcast", "a1", "p1"))
+        s = to.apply(s, act("bcast", "a2", "p1"))
+        # Not restricted to the head:
+        s = to.apply(s, act("to_order", "a2", "p1"))
+        assert s.order == [("a2", "p1")]
+        assert s.pending["p1"] == ["a1"]
+
+    def test_order_requires_pending(self, to):
+        with pytest.raises(ActionNotEnabled):
+            to.apply(to.initial_state(), act("to_order", "x", "p1"))
+
+
+class TestDelivery:
+    def test_prefix_delivery(self, to):
+        s = to.initial_state()
+        s = to.apply(s, act("bcast", "a1", "p1"))
+        s = to.apply(s, act("bcast", "a2", "p2"))
+        s = to.apply(s, act("to_order", "a1", "p1"))
+        s = to.apply(s, act("to_order", "a2", "p2"))
+        assert not to.is_enabled(s, act("brcv", "a2", "p2", "p1"))
+        s = to.apply(s, act("brcv", "a1", "p1", "p1"))
+        assert to.is_enabled(s, act("brcv", "a2", "p2", "p1"))
+
+    def test_each_process_has_own_pointer(self, to):
+        s = to.initial_state()
+        s = to.apply(s, act("bcast", "a1", "p1"))
+        s = to.apply(s, act("to_order", "a1", "p1"))
+        s = to.apply(s, act("brcv", "a1", "p1", "p1"))
+        assert s.next["p1"] == 2
+        assert s.next["p2"] == 1
+
+    def test_attribution_enforced(self, to):
+        s = to.initial_state()
+        s = to.apply(s, act("bcast", "a1", "p1"))
+        s = to.apply(s, act("to_order", "a1", "p1"))
+        assert not to.is_enabled(s, act("brcv", "a1", "p2", "p1"))
+
+
+class TestCandidates:
+    def test_candidates_cover_enabled(self, to):
+        s = to.initial_state()
+        s = to.apply(s, act("bcast", "a1", "p1"))
+        names = {a.name for a in to.enabled_controlled(s)}
+        assert names == {"to_order"}
+        s = to.apply(s, act("to_order", "a1", "p1"))
+        names = {a.name for a in to.enabled_controlled(s)}
+        assert names == {"brcv"}
+
+    def test_duplicate_payloads_deduplicated_in_candidates(self, to):
+        s = to.initial_state()
+        s = to.apply(s, act("bcast", "a", "p1"))
+        s = to.apply(s, act("bcast", "a", "p1"))
+        orders = [x for x in to.enabled_controlled(s) if x.name == "to_order"]
+        assert orders == [act("to_order", "a", "p1")]

@@ -1,0 +1,75 @@
+"""Unit tests for the VS invariant predicates (they must reject bad states)."""
+
+import pytest
+
+from repro.core import make_view
+from repro.core.tables import Table
+from repro.ioa import State
+from repro.ioa.errors import InvariantViolation
+from repro.vs.invariants import (
+    current_view_is_created,
+    invariant_3_1,
+    pointers_within_queue,
+    safe_behind_delivery,
+    vs_invariants,
+)
+
+
+def vs_state(**overrides):
+    v0 = make_view(0, {"p1", "p2"})
+    state = State(
+        created={v0},
+        current_viewid={"p1": v0.id, "p2": v0.id},
+        queue=Table(list),
+        pending=Table(list),
+        next=Table(lambda: 1),
+        next_safe=Table(lambda: 1),
+    )
+    for key, value in overrides.items():
+        setattr(state, key, value)
+    return state, v0
+
+
+class TestPredicates:
+    def test_healthy_state_passes_all(self):
+        state, _ = vs_state()
+        vs_invariants().check_state(state)
+
+    def test_duplicate_ids_rejected(self):
+        state, v0 = vs_state()
+        state.created.add(make_view(0, {"p1"}))
+        with pytest.raises(AssertionError):
+            invariant_3_1(state)
+
+    def test_unknown_current_view_rejected(self):
+        state, _ = vs_state(
+            current_viewid={"p1": make_view(9, {"p1"}).id, "p2": None}
+        )
+        with pytest.raises(AssertionError):
+            current_view_is_created(state)
+
+    def test_bottom_current_view_ok(self):
+        state, v0 = vs_state()
+        state.current_viewid = {"p1": v0.id, "p2": None}
+        assert current_view_is_created(state)
+
+    def test_pointer_beyond_queue_rejected(self):
+        state, v0 = vs_state()
+        state.next[("p1", v0.id)] = 5  # queue empty
+        with pytest.raises(AssertionError):
+            pointers_within_queue(state)
+
+    def test_safe_ahead_of_delivery_rejected(self):
+        state, v0 = vs_state()
+        state.queue.at(v0.id).extend([("m1", "p1"), ("m2", "p1")])
+        state.next[("p1", v0.id)] = 1
+        state.next_safe[("p1", v0.id)] = 2
+        with pytest.raises(AssertionError):
+            safe_behind_delivery(state)
+
+    def test_suite_reports_offender_name(self):
+        state, v0 = vs_state()
+        state.created.add(make_view(0, {"p2"}))
+        with pytest.raises(InvariantViolation) as excinfo:
+            vs_invariants().check_state(state)
+        assert "unique view ids" in str(excinfo.value)

@@ -1,0 +1,162 @@
+"""Unit and execution tests for the VS specification (Figure 1)."""
+
+import pytest
+
+from repro.core import make_view
+from repro.ioa import BoundedExplorer, act, run_random
+from repro.ioa.errors import ActionNotEnabled
+from repro.checking import (
+    build_closed_vs_spec,
+    check_vs_trace_properties,
+    grid_view_pool,
+    random_view_pool,
+)
+from repro.vs import VSSpec, vs_invariants
+
+
+@pytest.fixture
+def vs(v0):
+    pool = [make_view(1, {"p1", "p2"}), make_view(2, {"p2", "p3"})]
+    return VSSpec(v0, view_pool=pool)
+
+
+class TestInitialState:
+    def test_initial_view_created(self, vs, v0):
+        s = vs.initial_state()
+        assert s.created == {v0}
+
+    def test_members_start_in_v0(self, vs, v0):
+        s = vs.initial_state()
+        assert s.current_viewid["p1"] == v0.id
+
+    def test_non_members_start_bottom(self, v0):
+        vs = VSSpec(v0, universe={"p1", "p2", "p3", "p9"})
+        assert vs.initial_state().current_viewid["p9"] is None
+
+
+class TestCreateView:
+    def test_requires_increasing_id(self, vs, v0):
+        s = vs.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        s = vs.apply(s, act("vs_createview", v1))
+        assert v1 in s.created
+        with pytest.raises(ActionNotEnabled):
+            vs.apply(s, act("vs_createview", make_view(1, {"p3"})))
+        with pytest.raises(ActionNotEnabled):
+            vs.apply(s, act("vs_createview", make_view(0, {"p3"})))
+
+    def test_candidates_come_from_pool(self, vs):
+        s = vs.initial_state()
+        names = [a for a in vs.enabled_controlled(s) if a.name == "vs_createview"]
+        assert len(names) == 2
+
+
+class TestNewView:
+    def test_only_members_get_view(self, vs):
+        s = vs.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        s = vs.apply(s, act("vs_createview", v1))
+        assert vs.is_enabled(s, act("vs_newview", v1, "p1"))
+        assert not vs.is_enabled(s, act("vs_newview", v1, "p3"))
+
+    def test_monotone_per_process(self, vs):
+        s = vs.initial_state()
+        v1 = make_view(1, {"p1", "p2"})
+        v2 = make_view(2, {"p2", "p3"})
+        s = vs.apply(s, act("vs_createview", v1))
+        s = vs.apply(s, act("vs_createview", v2))
+        s = vs.apply(s, act("vs_newview", v2, "p2"))
+        # p2 skipped v1 and may not go back.
+        assert not vs.is_enabled(s, act("vs_newview", v1, "p2"))
+        # p1 may still take v1.
+        assert vs.is_enabled(s, act("vs_newview", v1, "p1"))
+
+
+class TestMessageFlow:
+    def test_send_order_deliver(self, vs, v0):
+        s = vs.initial_state()
+        s = vs.apply(s, act("vs_gpsnd", "m1", "p1"))
+        assert s.pending.get(("p1", v0.id)) == ["m1"]
+        s = vs.apply(s, act("vs_order", "m1", "p1", v0.id))
+        assert s.queue.get(v0.id) == [("m1", "p1")]
+        s = vs.apply(s, act("vs_gprcv", "m1", "p1", "p2"))
+        assert s.next.get(("p2", v0.id)) == 2
+
+    def test_send_with_no_view_is_dropped(self, v0):
+        vs = VSSpec(v0, universe={"p1", "p2", "p3", "p9"})
+        s = vs.initial_state()
+        s = vs.apply(s, act("vs_gpsnd", "m1", "p9"))
+        assert not list(s.pending.nondefault_items())
+
+    def test_safe_requires_all_members_delivered(self, vs, v0):
+        s = vs.initial_state()
+        s = vs.apply(s, act("vs_gpsnd", "m1", "p1"))
+        s = vs.apply(s, act("vs_order", "m1", "p1", v0.id))
+        assert not vs.is_enabled(s, act("vs_safe", "m1", "p1", "p1"))
+        for q in ["p1", "p2", "p3"]:
+            s = vs.apply(s, act("vs_gprcv", "m1", "p1", q))
+        assert vs.is_enabled(s, act("vs_safe", "m1", "p1", "p1"))
+        s = vs.apply(s, act("vs_safe", "m1", "p1", "p1"))
+        assert s.next_safe.get(("p1", v0.id)) == 2
+
+    def test_fifo_per_sender(self, vs, v0):
+        s = vs.initial_state()
+        s = vs.apply(s, act("vs_gpsnd", "m1", "p1"))
+        s = vs.apply(s, act("vs_gpsnd", "m2", "p1"))
+        assert not vs.is_enabled(s, act("vs_order", "m2", "p1", v0.id))
+
+    def test_delivery_in_queue_order(self, vs, v0):
+        s = vs.initial_state()
+        for m, p in [("m1", "p1"), ("m2", "p2")]:
+            s = vs.apply(s, act("vs_gpsnd", m, p))
+            s = vs.apply(s, act("vs_order", m, p, v0.id))
+        assert not vs.is_enabled(s, act("vs_gprcv", "m2", "p2", "p3"))
+        s = vs.apply(s, act("vs_gprcv", "m1", "p1", "p3"))
+        assert vs.is_enabled(s, act("vs_gprcv", "m2", "p2", "p3"))
+
+    def test_no_delivery_after_view_change(self, vs, v0):
+        s = vs.initial_state()
+        s = vs.apply(s, act("vs_gpsnd", "m1", "p1"))
+        s = vs.apply(s, act("vs_order", "m1", "p1", v0.id))
+        v1 = make_view(1, {"p1", "p2"})
+        s = vs.apply(s, act("vs_createview", v1))
+        s = vs.apply(s, act("vs_newview", v1, "p2"))
+        assert not vs.is_enabled(s, act("vs_gprcv", "m1", "p1", "p2"))
+
+
+class TestRandomExecutions:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_invariants_and_trace_properties(self, v0, three_procs, seed):
+        pool = random_view_pool(three_procs, 4, seed=seed)
+        system, procs = build_closed_vs_spec(v0, three_procs, view_pool=pool)
+        suite = vs_invariants()
+        ex = run_random(system, 1200, seed=seed,
+                        weights={"vs_createview": 0.1, "vs_newview": 0.6})
+        for state in ex.states():
+            suite.check_state(state.part("vs"))
+        check_vs_trace_properties(ex.trace(), v0)
+
+
+class TestExhaustive:
+    def test_small_config_explored_completely(self):
+        v0 = make_view(0, {"p1", "p2"})
+        pool = grid_view_pool({"p1", "p2"}, max_epoch=1)
+        system, procs = build_closed_vs_spec(
+            v0, {"p1", "p2"}, view_pool=pool, budget=1
+        )
+        suite = vs_invariants()
+
+        def lifted(state):
+            suite.check_state(state.part("vs"))
+            return True
+
+        from repro.ioa import BoundedExplorer, InvariantSuite
+
+        result = BoundedExplorer(
+            system,
+            invariants=InvariantSuite({"vs suite": lifted}),
+            max_states=200000,
+        ).explore()
+        assert result.complete
+        assert result.violation is None
+        assert result.states_visited > 100
