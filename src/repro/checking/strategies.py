@@ -95,3 +95,93 @@ def configurations(procs=None, max_groups=3):
 def scenarios(procs=None, max_steps=40):
     """Connectivity histories for the membership trackers."""
     return st.lists(configurations(procs), min_size=1, max_size=max_steps)
+
+
+# -- Nemesis fault plans (chaos testing, repro.faults) -------------------------
+
+
+def _times(horizon):
+    return st.floats(min_value=1.0, max_value=horizon, allow_nan=False,
+                     allow_infinity=False)
+
+
+def _durations(max_duration):
+    return st.floats(min_value=1.0, max_value=max_duration, allow_nan=False,
+                     allow_infinity=False)
+
+
+def _links(procs):
+    pairs = [
+        (src, dst) for src in procs for dst in procs if src != dst
+    ]
+    return st.one_of(
+        st.none(),
+        st.frozensets(st.sampled_from(pairs), min_size=1, max_size=3)
+        .map(lambda links: tuple(sorted(links))),
+    )
+
+
+def fault_ops(procs=None, horizon=120.0, max_duration=30.0):
+    """One timed nemesis op (see :mod:`repro.faults.nemesis`)."""
+    from repro.faults.nemesis import FaultOp
+
+    procs = list(procs or DEFAULT_PROCS)
+    pid = st.sampled_from(procs)
+    groups = st.lists(
+        st.integers(min_value=0, max_value=2),
+        min_size=len(procs), max_size=len(procs),
+    ).map(lambda assignment: _assignment_to_groups(procs, assignment))
+    probs = st.floats(min_value=0.05, max_value=0.9)
+    kinds = st.one_of(
+        st.tuples(st.just("crash"), st.tuples(pid)),
+        st.tuples(st.just("recover"), st.tuples(pid)),
+        st.tuples(st.just("partition"), st.tuples(groups)),
+        st.tuples(st.just("heal"), st.just(())),
+        st.tuples(
+            st.just("drop"),
+            st.tuples(_links(procs), probs, _durations(max_duration)),
+        ),
+        st.tuples(
+            st.just("duplicate"),
+            st.tuples(_links(procs), probs,
+                      st.floats(min_value=0.5, max_value=8.0),
+                      _durations(max_duration)),
+        ),
+        st.tuples(
+            st.just("delay"),
+            st.tuples(_links(procs),
+                      st.floats(min_value=0.0, max_value=10.0),
+                      probs,
+                      st.floats(min_value=0.0, max_value=20.0),
+                      _durations(max_duration)),
+        ),
+        st.tuples(
+            st.just("oneway"),
+            st.tuples(
+                _links(procs).filter(lambda links: links is not None),
+                _durations(max_duration),
+            ),
+        ),
+    )
+    return st.builds(
+        lambda at, kind_args: FaultOp(at, kind_args[0], kind_args[1]),
+        _times(horizon),
+        kinds,
+    )
+
+
+def _assignment_to_groups(procs, assignment):
+    groups = {}
+    for pid, group in zip(procs, assignment):
+        groups.setdefault(group, []).append(pid)
+    return tuple(tuple(sorted(g)) for g in groups.values())
+
+
+def nemesis_plans(procs=None, max_ops=8, horizon=120.0, max_duration=30.0):
+    """Whole nemesis plans, for property-testing the chaos harness."""
+    from repro.faults.nemesis import NemesisPlan
+
+    return st.lists(
+        fault_ops(procs, horizon=horizon, max_duration=max_duration),
+        max_size=max_ops,
+    ).map(NemesisPlan)

@@ -13,6 +13,10 @@ explore
 isis
     Search DVS executions for a violation of the Isis same-messages
     property (expected to exist: DVS is weaker by design).
+chaos
+    Run the full simulated stack under a seeded nemesis fault plan with
+    the online safety monitor armed; on a violation, delta-debug the
+    plan down to a minimal replayable counterexample.
 demo
     Run the partitioned-ledger scenario on the simulated cluster.
 """
@@ -175,6 +179,87 @@ def _cmd_isis(args):
     return 0
 
 
+def _build_chaos_plan(args, procs):
+    from repro.faults import (
+        NemesisPlan,
+        bridge_topology,
+        compose,
+        crash_recovery_storm,
+        flaky_link_windows,
+        partition_churn,
+    )
+
+    if args.plan_json:
+        return NemesisPlan.from_json(args.plan_json)
+    window = dict(start=10.0, duration=args.duration - 60.0)
+    builders = {
+        "storm": lambda: crash_recovery_storm(procs, seed=args.seed,
+                                              **window),
+        "churn": lambda: partition_churn(procs, seed=args.seed, **window),
+        "flaky": lambda: flaky_link_windows(procs, seed=args.seed, **window),
+        "bridge": lambda: bridge_topology(
+            procs[: len(procs) // 2],
+            procs[len(procs) // 2:],
+            procs[0],
+            at=10.0,
+            duration=args.duration - 60.0,
+        ),
+    }
+    if args.plan == "mixed":
+        return compose(*(build() for build in builders.values()))
+    return builders[args.plan]()
+
+
+def _cmd_chaos(args):
+    from repro.faults import run_chaos
+    from repro.faults.harness import find_and_shrink
+
+    procs = ["p{0}".format(i) for i in range(1, args.processes + 1)]
+    plan = _build_chaos_plan(args, procs)
+    dvs_factory = None
+    if args.broken:
+        from repro.dvs.ablation import NoMajorityDvsLayer
+
+        dvs_factory = NoMajorityDvsLayer
+    result = run_chaos(
+        procs,
+        seed=args.seed,
+        plan=plan,
+        duration=args.duration,
+        broadcast_interval=args.interval,
+        dvs_factory=dvs_factory,
+        log_limit=args.log_limit,
+    )
+    print("chaos: {0} processes, seed {1}, {2} fault ops, "
+          "{3:.0f} sim time units".format(
+              len(procs), args.seed, len(plan), result.stats["sim_time"]))
+    print("log digest: {0}".format(result.digest))
+    for key in ("attempted_views", "broadcasts", "deliveries",
+                "wire_sends", "drops", "violations"):
+        if key in result.stats:
+            print("  {0}: {1}".format(key, result.stats[key]))
+    if result.ok:
+        print("no safety violations: DVS 4.1 intersection and TO "
+              "prefix-consistency held throughout")
+        return 0
+    print()
+    print("SAFETY VIOLATION: {0}".format(result.violation.summary()))
+    if args.no_shrink:
+        return 1
+    print("shrinking the fault schedule (delta debugging)...")
+    repro_case = find_and_shrink(
+        result,
+        max_probes=args.max_probes,
+        duration=args.duration,
+        broadcast_interval=args.interval,
+        dvs_factory=dvs_factory,
+    )
+    if dvs_factory is not None:
+        repro_case.extra_args["broken"] = True
+    print(repro_case.describe())
+    return 1
+
+
 def _cmd_demo(args):
     import examples.partitioned_ledger as demo  # noqa: F401 - optional
 
@@ -220,6 +305,39 @@ def build_parser():
     isis.add_argument("--seeds", type=int, default=20)
     isis.add_argument("--steps", type=int, default=2500)
     isis.set_defaults(func=_cmd_isis)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="nemesis fault injection with online safety monitoring",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--processes", type=int, default=5)
+    chaos.add_argument(
+        "--plan",
+        choices=["storm", "churn", "flaky", "bridge", "mixed"],
+        default="mixed",
+        help="seeded nemesis plan family",
+    )
+    chaos.add_argument(
+        "--plan-json",
+        default=None,
+        help="replay an explicit plan (as printed by a shrunk repro)",
+    )
+    chaos.add_argument("--duration", type=float, default=240.0)
+    chaos.add_argument("--interval", type=float, default=8.0,
+                       help="workload broadcast interval")
+    chaos.add_argument(
+        "--broken",
+        action="store_true",
+        help="ablate the quorum check (expect a monitor violation)",
+    )
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="skip counterexample shrinking on violation")
+    chaos.add_argument("--max-probes", type=int, default=200,
+                       help="shrinking budget (oracle re-runs)")
+    chaos.add_argument("--log-limit", type=int, default=None,
+                       help="bound the network event log (entries kept)")
+    chaos.set_defaults(func=_cmd_chaos)
 
     demo = sub.add_parser("demo", help="partitioned-ledger demo")
     demo.set_defaults(func=_cmd_demo)

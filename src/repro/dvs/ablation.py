@@ -22,6 +22,7 @@ quantitative comparison is experiment E6.
 
 from repro.core.viewids import vid_gt
 from repro.dvs.vs_to_dvs import VsToDvs, use_views
+from repro.gcs.dvs_layer import DvsLayer
 
 
 class NoMajorityCheckVsToDvs(VsToDvs):
@@ -119,3 +120,18 @@ class StaticMajorityFilter(VsToDvs):
             self.static_universe
         )
         return majority
+
+
+class NoMajorityDvsLayer(DvsLayer):
+    """Runtime coding of ablation 1 (for the simulated stack).
+
+    Same broken check as :class:`NoMajorityCheckVsToDvs` -- nonempty
+    intersection instead of majority intersection with every view in
+    ``use`` -- but as a drop-in :class:`~repro.gcs.dvs_layer.DvsLayer`
+    substitute, so chaos runs (``repro chaos --broken``) can demonstrate
+    the online safety monitor catching disjoint concurrent primaries on
+    the *running* system, not just the automaton.
+    """
+
+    def _view_acceptable(self, view):
+        return all(view.intersects(w) for w in self.use)

@@ -1,0 +1,201 @@
+"""Online safety monitoring of chaos runs.
+
+A :class:`SafetyMonitor` attaches to the cluster's shared
+:class:`~repro.gcs.recorder.ActionLog` as an observer and re-checks, on
+*every* recorded event, the two end-to-end safety properties the paper
+proves:
+
+- **DVS dynamic intersection (Invariant 4.1)** -- whenever a new primary
+  view is attempted, it must intersect every earlier attempted view not
+  separated from it by a totally registered view (and views must arrive
+  at each process in increasing identifier order, members only);
+- **TO prefix consistency (Theorem 6.4)** -- every ``brcv`` must extend
+  the process's delivery sequence consistently with one system-wide
+  total order, with integrity (delivered payloads were broadcast) and no
+  duplication.
+
+Unlike the post-hoc trace checkers in :mod:`repro.checking.trace_props`
+(which the monitor agrees with by construction), the monitor fails *fast*:
+the raised :class:`SafetyViolation` carries the full action log and the
+network event log up to the violating event, so a nemesis run stops at
+the first bad state instead of thrashing for the rest of the schedule.
+"""
+
+from collections import defaultdict
+
+from repro.core.viewids import vid_gt, vid_lt
+
+
+class SafetyViolation(AssertionError):
+    """A monitored safety property failed during a run.
+
+    Attributes: ``prop`` (short property name), ``detail`` (diagnostic),
+    ``time`` (simulated time), ``actions`` (timed action log up to and
+    including the violating event) and ``net_log`` (the network's event
+    log, when the monitor was given access to it).
+    """
+
+    def __init__(self, prop, detail, time=None, actions=(), net_log=()):
+        self.prop = prop
+        self.detail = detail
+        self.time = time
+        self.actions = list(actions)
+        self.net_log = list(net_log)
+        super().__init__(
+            "[{0}] at t={1}: {2}".format(prop, time, detail)
+        )
+
+    def summary(self):
+        return "{0}: {1}".format(self.prop, self.detail)
+
+
+class SafetyMonitor:
+    """Incremental checker of DVS Invariant 4.1 and TO prefix consistency.
+
+    ``fail_fast=True`` (the default) raises :class:`SafetyViolation` from
+    inside the event callback, aborting the run at the first violation;
+    with ``fail_fast=False`` violations accumulate in ``violations`` and
+    the run continues (useful for surveying how badly an ablated stack
+    misbehaves).
+    """
+
+    def __init__(self, initial_view, fail_fast=True, net=None):
+        self.fail_fast = fail_fast
+        self.net = net
+        self.violations = []
+        self.checked_events = 0
+        # DVS state: attempted (created) views, per-view registrations.
+        self.initial_view = initial_view
+        self.created = {initial_view.id: initial_view}
+        self.current = {p: initial_view for p in initial_view.set}
+        self.registered = defaultdict(set)
+        self.registered[initial_view.id] = set(initial_view.set)
+        self.totally_registered = {initial_view.id: initial_view}
+        # TO state: broadcast set, per-process sequences, common order.
+        self.broadcast = set()
+        self.deliveries = defaultdict(list)
+        self.common_order = []
+        self._log = None  # ActionLog, set on attach
+
+    # -- Wiring ------------------------------------------------------------
+
+    def attach(self, action_log):
+        """Observe ``action_log`` (see :class:`repro.gcs.recorder.ActionLog`)."""
+        self._log = action_log
+        action_log.observers.append(self.on_action)
+        return self
+
+    # -- Event dispatch ----------------------------------------------------
+
+    def on_action(self, time, action):
+        self.checked_events += 1
+        name = action.name
+        if name == "dvs_newview":
+            view, pid = action.params
+            self._on_newview(time, view, pid)
+        elif name == "dvs_register":
+            (pid,) = action.params
+            self._on_register(time, pid)
+        elif name == "bcast":
+            payload, pid = action.params
+            self.broadcast.add((payload, pid))
+        elif name == "brcv":
+            payload, origin, pid = action.params
+            self._on_brcv(time, payload, origin, pid)
+
+    # -- DVS: view order + Invariant 4.1 -----------------------------------
+
+    def _on_newview(self, time, view, pid):
+        if pid not in view.set:
+            self._fail("dvs-membership", time,
+                       "{0} attempted view {1} it is not a member of"
+                       .format(pid, view))
+        previous = self.current.get(pid)
+        if previous is not None and not vid_gt(view.id, previous.id):
+            self._fail("dvs-view-order", time,
+                       "{0} attempted {1} after {2} (ids not increasing)"
+                       .format(pid, view, previous))
+        self.current[pid] = view
+        if view.id in self.created:
+            if self.created[view.id].set != view.set:
+                self._fail("dvs-view-identity", time,
+                           "two views share id {0}: {1} vs {2}".format(
+                               view.id, self.created[view.id], view))
+            return
+        # Invariant 4.1, incrementally: the new view only adds pairs that
+        # include itself (it is not yet totally registered, so it cannot
+        # separate an existing pair).
+        for other in self.created.values():
+            low, high = ((other, view) if vid_lt(other.id, view.id)
+                         else (view, other))
+            separated = any(
+                vid_lt(low.id, x.id) and vid_lt(x.id, high.id)
+                for x in self.totally_registered.values()
+            )
+            if not separated and not (low.set & high.set):
+                self._fail(
+                    "dvs-4.1-intersection", time,
+                    "attempted views {0} and {1} are disjoint with no "
+                    "totally registered view between them".format(low, high))
+        self.created[view.id] = view
+
+    def _on_register(self, time, pid):
+        view = self.current.get(pid)
+        if view is None:
+            self._fail("dvs-register", time,
+                       "{0} registered with no attempted view".format(pid))
+        self.registered[view.id].add(pid)
+        if self.registered[view.id] >= view.set:
+            self.totally_registered[view.id] = view
+
+    # -- TO: integrity, no duplication, prefix consistency -----------------
+
+    def _on_brcv(self, time, payload, origin, pid):
+        entry = (payload, origin)
+        if entry not in self.broadcast:
+            self._fail("to-integrity", time,
+                       "{0} delivered {1!r} attributed to {2} before/without "
+                       "its broadcast".format(pid, payload, origin))
+        seq = self.deliveries[pid]
+        position = len(seq)
+        if position < len(self.common_order):
+            expected = self.common_order[position]
+            if entry != expected:
+                self._fail(
+                    "to-prefix-consistency", time,
+                    "{0}'s delivery #{1} is {2!r} but the common order has "
+                    "{3!r}".format(pid, position + 1, entry, expected))
+        else:
+            self.common_order.append(entry)
+        if entry in seq:
+            self._fail("to-no-duplication", time,
+                       "{0} delivered {1!r} twice".format(pid, entry))
+        seq.append(entry)
+
+    # -- Reporting ---------------------------------------------------------
+
+    def _fail(self, prop, time, detail):
+        violation = SafetyViolation(
+            prop,
+            detail,
+            time=time,
+            actions=self._log.timed_actions() if self._log is not None else (),
+            net_log=self.net.log if self.net is not None else (),
+        )
+        self.violations.append(violation)
+        if self.fail_fast:
+            raise violation
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def stats(self):
+        return {
+            "events": self.checked_events,
+            "attempted_views": len(self.created),
+            "totally_registered": len(self.totally_registered),
+            "broadcasts": len(self.broadcast),
+            "deliveries": sum(len(s) for s in self.deliveries.values()),
+            "violations": len(self.violations),
+        }

@@ -1,0 +1,112 @@
+"""Counterexample shrinking for nemesis plans (delta debugging).
+
+When a safety monitor trips during a chaos run, the raw nemesis plan is
+usually far larger than what is needed to reproduce the bug.  This module
+implements the classic ddmin algorithm of Zeller/Hildebrandt over the
+plan's op list: it searches for a *1-minimal* failing schedule -- removing
+any single remaining op makes the violation disappear -- re-running the
+(deterministic) simulation as its oracle.
+
+The result is packaged as a :class:`ReproCase`: a ``(seed, plan)`` pair
+plus the command line that replays it.
+"""
+
+from dataclasses import dataclass, field
+
+
+def shrink_plan(plan, fails, max_probes=500):
+    """Minimize ``plan`` while ``fails(plan)`` stays true.
+
+    ``fails`` is a deterministic oracle: True iff running the candidate
+    plan still reproduces the violation.  ``fails(plan)`` must hold for
+    the input plan.  Returns ``(minimal_plan, probes)`` where ``probes``
+    is the number of oracle calls spent.
+
+    The op *list* is minimized (ddmin to 1-minimality); op parameters are
+    left untouched -- a time or probability is data the replay needs, not
+    schedule structure.
+    """
+    probes = [0]
+    cache = {}
+
+    def oracle(candidate):
+        key = candidate.ops
+        if key not in cache:
+            if probes[0] >= max_probes:
+                return False
+            probes[0] += 1
+            cache[key] = fails(candidate)
+        return cache[key]
+
+    if not oracle(plan):
+        raise ValueError("the initial plan does not fail: nothing to shrink")
+
+    current = plan
+    granularity = 2
+    while len(current) >= 2:
+        indices = list(range(len(current)))
+        chunk = max(1, len(indices) // granularity)
+        subsets = [
+            indices[i:i + chunk] for i in range(0, len(indices), chunk)
+        ]
+        reduced = False
+        # Try each chunk alone, then each complement.
+        for subset in subsets:
+            candidate = current.subset(subset)
+            if len(candidate) < len(current) and oracle(candidate):
+                current, granularity, reduced = candidate, 2, True
+                break
+        if not reduced:
+            for subset in subsets:
+                candidate = current.without(subset)
+                if len(candidate) < len(current) and oracle(candidate):
+                    current = candidate
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), 2 * granularity)
+    return current, probes[0]
+
+
+@dataclass
+class ReproCase:
+    """A replayable counterexample: seed + minimal plan + how to rerun it."""
+
+    seed: int
+    processes: tuple
+    plan: object
+    violation: object = None
+    probes: int = 0
+    extra_args: dict = field(default_factory=dict)
+
+    def command(self):
+        """The ``repro chaos`` invocation replaying this counterexample."""
+        parts = [
+            "python -m repro chaos",
+            "--seed {0}".format(self.seed),
+            "--processes {0}".format(len(self.processes)),
+            "--plan-json '{0}'".format(self.plan.to_json()),
+        ]
+        for flag, value in sorted(self.extra_args.items()):
+            if value is True:
+                parts.append("--{0}".format(flag))
+            elif value not in (None, False):
+                parts.append("--{0} {1}".format(flag, value))
+        return " ".join(parts)
+
+    def describe(self):
+        lines = [
+            "seed: {0}".format(self.seed),
+            "processes: {0}".format(", ".join(map(str, self.processes))),
+            "minimal plan ({0} ops, {1} probes):".format(
+                len(self.plan), self.probes
+            ),
+        ]
+        lines.extend("  " + op.describe() for op in self.plan)
+        if self.violation is not None:
+            lines.append("violation: {0}".format(self.violation.summary()))
+        lines.append("replay: {0}".format(self.command()))
+        return "\n".join(lines)

@@ -13,11 +13,27 @@ from repro.gcs.dvs_layer import DvsLayer
 from repro.gcs.recorder import ActionLog
 from repro.gcs.to_layer import ToLayer
 from repro.gcs.vs_stack import VsStackNode
+from repro.net.events import NonQuiescentError
 from repro.net.simulator import Network
 
 
 class Cluster:
-    """A simulated deployment of the full stack."""
+    """A simulated deployment of the full stack.
+
+    Chaos-testing hooks (see :mod:`repro.faults`):
+
+    - ``nemesis`` -- a :class:`repro.faults.nemesis.Nemesis` (or plain
+      plan) armed on the network at :meth:`start`;
+    - ``monitor`` -- ``True`` for a default online
+      :class:`repro.faults.monitor.SafetyMonitor`, or a prebuilt monitor;
+      an armed monitor forces full network logging regardless of
+      ``log_limit``;
+    - ``dvs_factory`` -- substitute dynamic-primary layer constructor
+      (e.g. :class:`repro.dvs.ablation.NoMajorityDvsLayer`), signature
+      ``factory(stack, initial_view, recorder=...)``;
+    - ``log_limit`` -- bound the network event log's memory (entries
+      kept), for long monitored-elsewhere runs.
+    """
 
     def __init__(
         self,
@@ -27,32 +43,65 @@ class Cluster:
         initial_view=None,
         min_latency=1.0,
         max_latency=2.0,
+        nemesis=None,
+        monitor=None,
+        dvs_factory=None,
+        log_limit=None,
     ):
         self.processes = sorted(processes)
         if initial_view is None:
             initial_view = View(ViewId(0, ""), frozenset(self.processes))
         self.initial_view = initial_view
+        if monitor:
+            log_limit = None  # a monitor's diagnostics need the full log
         self.net = Network(
-            seed=seed, min_latency=min_latency, max_latency=max_latency
+            seed=seed, min_latency=min_latency, max_latency=max_latency,
+            log_limit=log_limit,
         )
         self.log = ActionLog(clock=lambda: self.net.queue.now)
+        self.monitor = self._build_monitor(monitor)
+        self.nemesis = self._build_nemesis(nemesis)
+        self.last_settle = None
         self.stacks = {}
         self.dvs = {}
         self.to = {}
+        dvs_factory = dvs_factory or DvsLayer
         for pid in self.processes:
             stack = VsStackNode(
                 pid, initial_view=initial_view, recorder=self.log
             )
             self.net.add_node(stack)
-            dvs = DvsLayer(stack, initial_view, recorder=self.log)
+            dvs = dvs_factory(stack, initial_view, recorder=self.log)
             self.stacks[pid] = stack
             self.dvs[pid] = dvs
             if with_to_layer:
                 self.to[pid] = ToLayer(dvs, initial_view, recorder=self.log)
 
+    def _build_monitor(self, monitor):
+        if not monitor:
+            return None
+        if monitor is True:
+            from repro.faults.monitor import SafetyMonitor
+
+            monitor = SafetyMonitor(self.initial_view, net=self.net)
+        if getattr(monitor, "net", None) is None:
+            monitor.net = self.net
+        return monitor.attach(self.log)
+
+    def _build_nemesis(self, nemesis):
+        if nemesis is None:
+            return None
+        from repro.faults.nemesis import Nemesis
+
+        if not isinstance(nemesis, Nemesis):
+            nemesis = Nemesis(nemesis)
+        return nemesis
+
     # -- Convenience passthroughs ---------------------------------------------------
 
     def start(self):
+        if self.nemesis is not None:
+            self.nemesis.arm(self.net)
         self.net.start()
         return self
 
@@ -60,12 +109,25 @@ class Cluster:
         self.net.run_until(self.net.queue.now + duration)
         return self
 
-    def settle(self, max_time=None):
-        """Run until no events remain (bounded by ``max_time`` from now)."""
+    def settle(self, max_time=None, max_events=1000000, strict=True):
+        """Run until no events remain (bounded by ``max_time`` from now).
+
+        Stopping at ``max_time`` is the caller's explicit bound and is
+        fine; exhausting ``max_events`` without quiescing means the run
+        was truncated mid-flight, which ``strict`` surfaces as a
+        :class:`~repro.net.events.NonQuiescentError` instead of silently
+        returning a half-finished simulation.  The last status is kept in
+        ``last_settle``.
+        """
         bound = float("inf") if max_time is None else (
             self.net.queue.now + max_time
         )
-        self.net.run_to_quiescence(max_time=bound)
+        status = self.net.run_to_quiescence(
+            max_time=bound, max_events=max_events
+        )
+        self.last_settle = status
+        if strict and status.reason == "max_events":
+            raise NonQuiescentError(status)
         return self
 
     def partition(self, *groups):

@@ -143,6 +143,12 @@ class DvsLayer(VsListener):
         }
         self._maybe_attempt()
 
+    def _view_acceptable(self, view):
+        """The quorum clause of the DVS-NEWVIEW precondition: the view must
+        majority-intersect every possibly-active earlier primary.  Ablated
+        variants (:mod:`repro.dvs.ablation`) override this."""
+        return all(view.majority_of(w) for w in self.use)
+
     def _maybe_attempt(self):
         """The DVS-NEWVIEW precondition of Figure 3, applied eagerly."""
         view = self.cur
@@ -154,7 +160,7 @@ class DvsLayer(VsListener):
         for q in view.set:
             if q != self.pid and q not in self.info_rcvd:
                 return
-        if not all(view.majority_of(w) for w in self.use):
+        if not self._view_acceptable(view):
             return
         self.amb.add(view)
         self.client_cur = view

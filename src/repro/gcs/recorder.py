@@ -23,10 +23,18 @@ class ActionLog:
         self.actions = []
         self.times = []
         self.clock = clock
+        #: Callables invoked as ``observer(time, action)`` on every record;
+        #: online monitors (:mod:`repro.faults.monitor`) attach here and may
+        #: raise to fail a run fast.
+        self.observers = []
 
     def record(self, name, *params):
-        self.actions.append(act(name, *params))
-        self.times.append(self.clock() if self.clock is not None else None)
+        action = act(name, *params)
+        time = self.clock() if self.clock is not None else None
+        self.actions.append(action)
+        self.times.append(time)
+        for observer in self.observers:
+            observer(time, action)
 
     def timed_actions(self):
         return list(zip(self.times, self.actions))

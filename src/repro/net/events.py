@@ -5,6 +5,40 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+#: Reasons a :meth:`EventQueue.run_to_quiescence` call stopped.
+QUIESCENT = "quiescent"
+MAX_TIME = "max_time"
+MAX_EVENTS = "max_events"
+
+
+class NonQuiescentError(RuntimeError):
+    """A run expected to quiesce was truncated by its event budget."""
+
+    def __init__(self, status):
+        self.status = status
+        super().__init__(
+            "run truncated after {0} events without quiescing "
+            "(reason: {1})".format(status.fired, status.reason)
+        )
+
+
+@dataclass(frozen=True)
+class QuiescenceStatus:
+    """Outcome of :meth:`EventQueue.run_to_quiescence`.
+
+    ``quiescent`` is True iff the queue genuinely drained; otherwise
+    ``reason`` says which bound stopped the run (``max_time`` leaves the
+    remaining events queued for later, ``max_events`` means the run was
+    truncated mid-flight).
+    """
+
+    fired: int
+    quiescent: bool
+    reason: str
+
+    def __bool__(self):
+        return self.quiescent
+
 
 @dataclass(order=True)
 class _Event:
@@ -56,7 +90,9 @@ class EventQueue:
     def run_to_quiescence(self, max_time=float("inf"), max_events=1000000):
         """Fire events until none remain (or a bound trips).
 
-        Returns the number of events fired.
+        Returns a :class:`QuiescenceStatus`; check ``status.quiescent`` (or
+        truth-test the status) to distinguish a drained queue from a
+        truncated run.
         """
         fired = 0
         while self._heap:
@@ -66,10 +102,10 @@ class EventQueue:
             if event.time > max_time:
                 # Out of simulated time; leave the event unfired.
                 heapq.heappush(self._heap, event)
-                break
+                return QuiescenceStatus(fired, False, MAX_TIME)
             self.now = event.time
             event.callback()
             fired += 1
-            if fired >= max_events:
-                break
-        return fired
+            if fired >= max_events and len(self) > 0:
+                return QuiescenceStatus(fired, False, MAX_EVENTS)
+        return QuiescenceStatus(fired, True, QUIESCENT)

@@ -15,6 +15,11 @@ Semantics:
   ``recover`` -- recovery is amnesia-free for the node object itself;
   protocols that need crash-recovery semantics must manage their own
   stable storage (our stack treats recovery like a merge).
+- **Link faults** (:mod:`repro.faults.models`) refine the fair-lossy
+  adversary below the partition layer: installed fault objects may drop,
+  duplicate or delay individual messages per directed link, or block a
+  link one-way.  All fault randomness is drawn from the network's own
+  seeded RNG, so a faulty run replays bit-for-bit from its seed.
 - **Connectivity oracle**: whenever the partition map or crash set
   changes, every alive node is told its current component via
   ``on_connectivity``.  This substitutes for a failure detector; the
@@ -67,10 +72,34 @@ class Node:
         (a frozenset of alive process ids, always containing ``self.pid``)."""
 
 
+class EventLog(list):
+    """The network's chronological event log, optionally bounded.
+
+    With ``limit=None`` this is a plain list (full history).  With a
+    limit, the log keeps only the most recent ``limit`` entries, trimming
+    in chunks so appends stay amortized O(1); ``dropped`` counts entries
+    discarded from the front.  Long chaos runs set a limit so memory stays
+    bounded; an armed safety monitor keeps the full log for diagnostics.
+    """
+
+    def __init__(self, limit=None):
+        super().__init__()
+        self.limit = limit
+        self.dropped = 0
+
+    def append(self, entry):
+        super().append(entry)
+        if self.limit is not None and len(self) > 2 * self.limit:
+            excess = len(self) - self.limit
+            del self[:excess]
+            self.dropped += excess
+
+
 class Network:
     """The simulated network tying nodes, channels and faults together."""
 
-    def __init__(self, seed=0, min_latency=1.0, max_latency=2.0):
+    def __init__(self, seed=0, min_latency=1.0, max_latency=2.0,
+                 log_limit=None):
         self.queue = EventQueue()
         self.rng = random.Random(seed)
         self.min_latency = min_latency
@@ -80,8 +109,10 @@ class Network:
         self._crashed = set()
         self._channel_clock = {}
         self._started = False
+        #: Active link-fault objects (see :mod:`repro.faults.models`).
+        self.faults = []
         #: Chronological log of (time, kind, details) tuples for analysis.
-        self.log = []
+        self.log = EventLog(limit=log_limit)
 
     # -- Topology ------------------------------------------------------------------
 
@@ -160,6 +191,21 @@ class Network:
         self._record("recover", pid)
         self._notify_connectivity()
 
+    def install_fault(self, fault):
+        """Arm a link-fault model; returns it (for :meth:`remove_fault`)."""
+        self.faults.append(fault)
+        self._record("fault_on", str(fault))
+        return fault
+
+    def remove_fault(self, fault):
+        if fault in self.faults:
+            self.faults.remove(fault)
+            self._record("fault_off", str(fault))
+
+    def link_blocked(self, src, dst):
+        """True if an installed fault blocks ``src -> dst`` right now."""
+        return any(f.blocks_delivery(src, dst) for f in self.faults)
+
     def _notify_connectivity(self):
         if not self._started:
             return
@@ -171,26 +217,37 @@ class Network:
 
     def send(self, src, dst, msg):
         """Queue a message; it is dropped at delivery time if the endpoints
-        are then crashed or separated."""
+        are then crashed, separated or on a blocked link."""
         if not self.alive(src):
             return
-        latency = self.rng.uniform(self.min_latency, self.max_latency)
-        channel = (src, dst)
-        # FIFO per channel: never deliver before the previous message on
-        # the same channel.
-        earliest = self._channel_clock.get(channel, 0.0)
-        deliver_at = max(self.queue.now + latency, earliest)
-        self._channel_clock[channel] = deliver_at
+        # Each copy is an extra delay on top of the drawn latency; the
+        # no-fault case is a single copy with no extra delay.  Faults
+        # transform the copy list in installation order and may empty it.
+        copies = [0.0]
+        for fault in self.faults:
+            if copies and fault.applies(src, dst):
+                copies = fault.transform(self, src, dst, copies)
+        if not copies:
+            self._record("fault_drop", (src, dst, msg))
+            return
         self._record("send", (src, dst, msg))
+        channel = (src, dst)
+        for extra in copies:
+            latency = self.rng.uniform(self.min_latency, self.max_latency)
+            # FIFO per channel: never deliver before the previous message
+            # on the same channel, whatever jitter the faults added.
+            earliest = self._channel_clock.get(channel, 0.0)
+            deliver_at = max(self.queue.now + latency + extra, earliest)
+            self._channel_clock[channel] = deliver_at
 
-        def deliver():
-            if not self.connected(src, dst):
-                self._record("drop", (src, dst, msg))
-                return
-            self._record("deliver", (src, dst, msg))
-            self.nodes[dst].on_message(src, msg)
+            def deliver():
+                if not self.connected(src, dst) or self.link_blocked(src, dst):
+                    self._record("drop", (src, dst, msg))
+                    return
+                self._record("deliver", (src, dst, msg))
+                self.nodes[dst].on_message(src, msg)
 
-        self.queue.schedule(deliver_at - self.queue.now, deliver)
+            self.queue.schedule(deliver_at - self.queue.now, deliver)
 
     def set_timer(self, pid, delay, tag):
         def fire():
@@ -222,6 +279,10 @@ class Network:
         if not self._started:
             self.start()
         return self.queue.run_to_quiescence(max_time, max_events)
+
+    def record(self, kind, details):
+        """Public hook for instrumentation (nemesis ops, workload marks)."""
+        self._record(kind, details)
 
     def _record(self, kind, details):
         self.log.append((self.queue.now, kind, details))

@@ -1,0 +1,127 @@
+"""Unit tests for the link-level fault models."""
+
+from repro.faults.models import (
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    OneWayBlock,
+)
+from repro.net import Network, Node
+
+
+class Sink(Node):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+
+    def on_message(self, src, msg):
+        self.received.append((src, msg))
+
+
+def make_net(seed=0, pids="ab"):
+    net = Network(seed=seed)
+    nodes = {p: net.add_node(Sink(p)) for p in pids}
+    net.start()
+    return net, nodes
+
+
+class TestDropFault:
+    def test_certain_drop_loses_everything(self):
+        net, nodes = make_net()
+        net.install_fault(DropFault(1.0))
+        for i in range(5):
+            nodes["a"].send("b", i)
+        net.run_to_quiescence()
+        assert nodes["b"].received == []
+        assert sum(1 for _, k, _ in net.log if k == "fault_drop") == 5
+
+    def test_partial_drop_is_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            net, nodes = make_net(seed=7)
+            net.install_fault(DropFault(0.5))
+            for i in range(40):
+                nodes["a"].send("b", i)
+            net.run_to_quiescence()
+            outcomes.append([m for _, m in nodes["b"].received])
+        assert outcomes[0] == outcomes[1]
+        assert 0 < len(outcomes[0]) < 40
+
+    def test_scoped_to_links(self):
+        net, nodes = make_net(pids="abc")
+        net.install_fault(DropFault(1.0, links=[("a", "b")]))
+        nodes["a"].send("b", "lost")
+        nodes["a"].send("c", "kept")
+        net.run_to_quiescence()
+        assert nodes["b"].received == []
+        assert nodes["c"].received == [("a", "kept")]
+
+    def test_removal_restores_the_link(self):
+        net, nodes = make_net()
+        fault = net.install_fault(DropFault(1.0))
+        nodes["a"].send("b", "lost")
+        net.run_to_quiescence()
+        net.remove_fault(fault)
+        nodes["a"].send("b", "kept")
+        net.run_to_quiescence()
+        assert nodes["b"].received == [("a", "kept")]
+
+
+class TestDuplicateFault:
+    def test_duplicates_arrive_in_order(self):
+        net, nodes = make_net(seed=3)
+        net.install_fault(DuplicateFault(1.0, spread=4.0))
+        for i in range(6):
+            nodes["a"].send("b", i)
+        net.run_to_quiescence()
+        payloads = [m for _, m in nodes["b"].received]
+        assert len(payloads) == 12
+        # FIFO per channel: copies never overtake later messages' copies.
+        assert payloads == sorted(payloads)
+
+
+class TestDelayFault:
+    def test_jitter_preserves_channel_fifo(self):
+        net, nodes = make_net(seed=5)
+        net.install_fault(DelayFault(jitter=10.0, spike_prob=0.3, spike=30.0))
+        for i in range(10):
+            nodes["a"].send("b", i)
+        net.run_to_quiescence()
+        assert [m for _, m in nodes["b"].received] == list(range(10))
+
+    def test_spikes_slow_down_delivery(self):
+        quiet_net, quiet_nodes = make_net(seed=9)
+        quiet_nodes["a"].send("b", "x")
+        quiet_net.run_to_quiescence()
+        slow_net, slow_nodes = make_net(seed=9)
+        slow_net.install_fault(DelayFault(jitter=0.0, spike_prob=1.0,
+                                          spike=50.0))
+        slow_nodes["a"].send("b", "x")
+        slow_net.run_to_quiescence()
+        assert slow_net.queue.now > quiet_net.queue.now
+
+
+class TestOneWayBlock:
+    def test_asymmetric(self):
+        net, nodes = make_net()
+        net.install_fault(OneWayBlock([("a", "b")]))
+        nodes["a"].send("b", "blocked")
+        nodes["b"].send("a", "through")
+        net.run_to_quiescence()
+        assert nodes["b"].received == []
+        assert nodes["a"].received == [("b", "through")]
+
+    def test_blocks_in_flight_messages(self):
+        """Like partitions, the block is evaluated at delivery time."""
+        net, nodes = make_net()
+        nodes["a"].send("b", "late")
+        net.install_fault(OneWayBlock([("a", "b")]))
+        net.run_to_quiescence()
+        assert nodes["b"].received == []
+        assert any(k == "drop" for _, k, _ in net.log)
+
+    def test_rejects_wildcard(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            OneWayBlock(None)

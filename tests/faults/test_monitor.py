@@ -1,0 +1,163 @@
+"""Tests for the online safety monitor."""
+
+import pytest
+
+from repro.core import make_view
+from repro.faults.harness import run_chaos
+from repro.faults.monitor import SafetyMonitor, SafetyViolation
+from repro.faults.nemesis import NemesisPlan
+from repro.gcs.recorder import ActionLog
+
+PROCS = ["p1", "p2", "p3", "p4", "p5"]
+
+
+def make_monitor(members="abc", fail_fast=True):
+    v0 = make_view(0, members)
+    log = ActionLog()
+    monitor = SafetyMonitor(v0, fail_fast=fail_fast).attach(log)
+    return monitor, log, v0
+
+
+class TestDvsChecks:
+    def test_intersecting_views_pass(self):
+        monitor, log, _ = make_monitor("abc")
+        log.record("dvs_newview", make_view(1, "ab"), "a")
+        log.record("dvs_newview", make_view(2, "bc"), "b")
+        assert monitor.ok
+
+    def test_disjoint_unseparated_views_fail(self):
+        monitor, log, _ = make_monitor("abcd")
+        log.record("dvs_newview", make_view(1, "ab"), "a")
+        with pytest.raises(SafetyViolation) as err:
+            log.record("dvs_newview", make_view(2, "cd"), "c")
+        assert err.value.prop == "dvs-4.1-intersection"
+        assert err.value.actions  # carries the event log
+
+    def test_total_registration_separates(self):
+        monitor, log, _ = make_monitor("abcd")
+        log.record("dvs_newview", make_view(1, "ab"), "a")
+        log.record("dvs_newview", make_view(2, "abcd"), "a")
+        log.record("dvs_newview", make_view(2, "abcd"), "b")
+        log.record("dvs_newview", make_view(2, "abcd"), "c")
+        log.record("dvs_newview", make_view(2, "abcd"), "d")
+        for p in "abcd":
+            log.record("dvs_register", p)
+        # v1={a,b} and v3={c,d} are disjoint but separated by registered v2.
+        log.record("dvs_newview", make_view(3, "cd"), "c")
+        assert monitor.ok
+        assert len(monitor.totally_registered) == 2
+
+    def test_out_of_order_views_fail(self):
+        monitor, log, _ = make_monitor("abc")
+        log.record("dvs_newview", make_view(5, "ab"), "a")
+        with pytest.raises(SafetyViolation) as err:
+            log.record("dvs_newview", make_view(1, "ab"), "a")
+        assert err.value.prop == "dvs-view-order"
+
+    def test_non_member_view_fails(self):
+        monitor, log, _ = make_monitor("abc")
+        with pytest.raises(SafetyViolation) as err:
+            log.record("dvs_newview", make_view(1, "bc"), "a")
+        assert err.value.prop == "dvs-membership"
+
+    def test_fail_slow_accumulates(self):
+        monitor, log, _ = make_monitor("abcd", fail_fast=False)
+        log.record("dvs_newview", make_view(1, "ab"), "a")
+        log.record("dvs_newview", make_view(2, "cd"), "c")
+        log.record("dvs_newview", make_view(3, "cd"), "c")
+        assert not monitor.ok
+        assert len(monitor.violations) >= 1
+
+
+class TestToChecks:
+    def test_consistent_prefixes_pass(self):
+        monitor, log, _ = make_monitor("abc")
+        log.record("bcast", "m1", "a")
+        log.record("bcast", "m2", "b")
+        log.record("brcv", "m1", "a", "a")
+        log.record("brcv", "m1", "a", "b")
+        log.record("brcv", "m2", "b", "a")
+        assert monitor.ok
+
+    def test_order_disagreement_fails(self):
+        monitor, log, _ = make_monitor("abc")
+        log.record("bcast", "m1", "a")
+        log.record("bcast", "m2", "b")
+        log.record("brcv", "m1", "a", "a")
+        log.record("brcv", "m2", "b", "a")
+        log.record("brcv", "m1", "a", "b")
+        with pytest.raises(SafetyViolation) as err:
+            log.record("brcv", "m2", "b", "c")  # c skips m1
+        assert err.value.prop == "to-prefix-consistency"
+
+    def test_unbroadcast_delivery_fails(self):
+        monitor, log, _ = make_monitor("abc")
+        with pytest.raises(SafetyViolation) as err:
+            log.record("brcv", "ghost", "a", "b")
+        assert err.value.prop == "to-integrity"
+
+    def test_duplicate_delivery_fails(self):
+        monitor, log, _ = make_monitor("abc")
+        log.record("bcast", "m1", "a")
+        log.record("brcv", "m1", "a", "b")
+        with pytest.raises(SafetyViolation) as err:
+            log.record("brcv", "m1", "a", "b")
+        assert err.value.prop == "to-no-duplication"
+
+
+class TestMonitoredChaosRuns:
+    def test_healthy_stack_survives_partition_churn(self):
+        from repro.faults.nemesis import partition_churn
+
+        plan = partition_churn(PROCS, seed=4, start=10.0, duration=90.0)
+        result = run_chaos(PROCS, seed=4, plan=plan)
+        assert result.ok
+        assert result.stats["violations"] == 0
+        assert result.stats["attempted_views"] > 1
+
+    def test_broken_stack_is_caught_online(self):
+        from repro.dvs.ablation import NoMajorityDvsLayer
+        from repro.faults.nemesis import partition_churn
+
+        plan = partition_churn(PROCS, seed=0, start=10.0, duration=120.0)
+        result = run_chaos(
+            PROCS, seed=0, plan=plan, dvs_factory=NoMajorityDvsLayer
+        )
+        assert not result.ok
+        assert result.violation.prop == "dvs-4.1-intersection"
+        # Fail-fast: the run stopped at the violation, well before the
+        # plan plus settle time would have elapsed.
+        assert result.violation.net_log
+
+    def test_same_seed_same_digest(self):
+        from repro.faults.nemesis import crash_recovery_storm
+
+        plan = crash_recovery_storm(PROCS, seed=9, start=5.0, duration=60.0)
+        first = run_chaos(PROCS, seed=9, plan=plan, duration=100.0)
+        second = run_chaos(PROCS, seed=9, plan=plan, duration=100.0)
+        assert first.digest == second.digest
+        assert first.ok and second.ok
+
+    def test_different_seed_different_digest(self):
+        plan = NemesisPlan([(10.0, "crash", ("p1",))])
+        a = run_chaos(PROCS, seed=1, plan=plan, duration=60.0)
+        b = run_chaos(PROCS, seed=2, plan=plan, duration=60.0)
+        assert a.digest != b.digest
+
+    def test_monitor_forces_full_logging(self):
+        plan = NemesisPlan([(10.0, "crash", ("p1",))])
+        result = run_chaos(
+            PROCS, seed=0, plan=plan, duration=60.0,
+            log_limit=5, keep_cluster=True,
+        )
+        assert result.cluster.net.log.limit is None
+        assert result.cluster.net.log.dropped == 0
+
+    def test_unmonitored_run_respects_log_limit(self):
+        plan = NemesisPlan([(10.0, "crash", ("p1",))])
+        result = run_chaos(
+            PROCS, seed=0, plan=plan, duration=60.0,
+            monitor=False, log_limit=50, keep_cluster=True,
+        )
+        assert result.cluster.net.log.limit == 50
+        assert len(result.cluster.net.log) <= 100

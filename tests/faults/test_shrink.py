@@ -1,0 +1,128 @@
+"""Tests for ddmin plan shrinking and repro packaging."""
+
+import pytest
+
+from repro.faults.harness import find_and_shrink, run_chaos
+from repro.faults.nemesis import FaultOp, NemesisPlan
+from repro.faults.shrink import ReproCase, shrink_plan
+
+PROCS = ["p1", "p2", "p3", "p4", "p5"]
+
+
+def noise_plan(n):
+    return [FaultOp(float(i + 1), "crash", ("px%d" % i,)) for i in range(n)]
+
+
+class TestShrinkPlan:
+    def test_single_culprit_is_isolated(self):
+        culprit = FaultOp(50.0, "heal")
+        plan = NemesisPlan(noise_plan(20) + [culprit])
+
+        def fails(candidate):
+            return culprit in candidate.ops
+
+        minimal, probes = shrink_plan(plan, fails)
+        assert minimal.ops == (culprit,)
+        assert probes >= 1
+
+    def test_interacting_pair_is_kept_together(self):
+        a = FaultOp(10.0, "crash", ("p1",))
+        b = FaultOp(20.0, "recover", ("p1",))
+        plan = NemesisPlan(noise_plan(14) + [a, b])
+
+        def fails(candidate):
+            return a in candidate.ops and b in candidate.ops
+
+        minimal, _ = shrink_plan(plan, fails)
+        assert set(minimal.ops) == {a, b}
+
+    def test_result_is_one_minimal(self):
+        ops = noise_plan(9)
+        keep = {ops[1], ops[4], ops[7]}
+        plan = NemesisPlan(ops)
+
+        def fails(candidate):
+            return keep <= set(candidate.ops)
+
+        minimal, _ = shrink_plan(plan, fails)
+        assert set(minimal.ops) == keep
+        for i in range(len(minimal)):
+            assert not fails(minimal.without([i]))
+
+    def test_rejects_passing_plan(self):
+        plan = NemesisPlan(noise_plan(3))
+        with pytest.raises(ValueError):
+            shrink_plan(plan, lambda candidate: False)
+
+    def test_probe_budget_caps_oracle_calls(self):
+        plan = NemesisPlan(noise_plan(30))
+        calls = [0]
+
+        def fails(candidate):
+            calls[0] += 1
+            return len(candidate) == 30 or len(candidate) <= 1
+
+        shrink_plan(plan, fails, max_probes=5)
+        assert calls[0] <= 5
+
+    def test_oracle_results_are_cached(self):
+        plan = NemesisPlan(noise_plan(8))
+        seen = []
+
+        def fails(candidate):
+            assert candidate.ops not in seen
+            seen.append(candidate.ops)
+            return True  # every subset "fails" -> lots of repeat shapes
+
+        shrink_plan(plan, fails)
+
+
+class TestReproCase:
+    def make_case(self):
+        plan = NemesisPlan([FaultOp(10.0, "crash", ("p1",))])
+        return ReproCase(
+            seed=7, processes=tuple(PROCS), plan=plan, probes=3,
+            extra_args={"broken": True},
+        )
+
+    def test_command_replays_plan_json(self):
+        cmd = self.make_case().command()
+        assert cmd.startswith("python -m repro chaos")
+        assert "--seed 7" in cmd
+        assert "--processes 5" in cmd
+        assert "--plan-json" in cmd and "crash" in cmd
+        assert "--broken" in cmd
+
+    def test_describe_lists_ops_and_replay(self):
+        text = self.make_case().describe()
+        assert "minimal plan (1 ops, 3 probes)" in text
+        assert "replay:" in text
+
+
+class TestEndToEndShrink:
+    def test_broken_stack_shrinks_to_replayable_repro(self):
+        from repro.dvs.ablation import NoMajorityDvsLayer
+        from repro.faults.nemesis import partition_churn
+
+        plan = partition_churn(PROCS, seed=0, start=10.0, duration=90.0)
+        result = run_chaos(
+            PROCS, seed=0, plan=plan, dvs_factory=NoMajorityDvsLayer
+        )
+        assert not result.ok
+        repro_case = find_and_shrink(
+            result, max_probes=60, dvs_factory=NoMajorityDvsLayer
+        )
+        assert len(repro_case.plan) < len(plan)
+        assert repro_case.violation is not None
+        # The emitted (seed, plan) pair really does replay the violation.
+        replay = run_chaos(
+            PROCS, seed=repro_case.seed, plan=repro_case.plan,
+            dvs_factory=NoMajorityDvsLayer,
+        )
+        assert not replay.ok
+
+    def test_shrink_refuses_healthy_run(self):
+        result = run_chaos(PROCS, seed=1, plan=NemesisPlan(()), duration=50.0)
+        assert result.ok
+        with pytest.raises(ValueError):
+            find_and_shrink(result)

@@ -68,17 +68,23 @@ class TestQuiescence:
         q = EventQueue()
         for _ in range(4):
             q.schedule(1, lambda: None)
-        assert q.run_to_quiescence() == 4
+        status = q.run_to_quiescence()
+        assert status.fired == 4
+        assert status.quiescent
+        assert status.reason == "quiescent"
+        assert bool(status)
 
     def test_respects_max_time(self):
         q = EventQueue()
         fired = []
         q.schedule(1, lambda: fired.append(1))
         q.schedule(100, lambda: fired.append(2))
-        q.run_to_quiescence(max_time=10)
+        status = q.run_to_quiescence(max_time=10)
         assert fired == [1]
         # The far-future event is still queued.
         assert len(q) == 1
+        assert not status.quiescent
+        assert status.reason == "max_time"
 
     def test_respects_max_events(self):
         q = EventQueue()
@@ -87,4 +93,25 @@ class TestQuiescence:
             q.schedule(1, reschedule)
 
         q.schedule(1, reschedule)
-        assert q.run_to_quiescence(max_events=50) == 50
+        status = q.run_to_quiescence(max_events=50)
+        assert status.fired == 50
+        assert not status.quiescent
+        assert status.reason == "max_events"
+        assert not bool(status)
+
+    def test_exact_budget_still_quiescent(self):
+        """Draining on the last allowed event is quiescence, not truncation."""
+        q = EventQueue()
+        for _ in range(5):
+            q.schedule(1, lambda: None)
+        status = q.run_to_quiescence(max_events=5)
+        assert status.fired == 5
+        assert status.quiescent
+
+    def test_budget_with_only_cancelled_left_is_quiescent(self):
+        q = EventQueue()
+        q.schedule(1, lambda: None)
+        handle = q.schedule(2, lambda: None)
+        q.cancel(handle)
+        status = q.run_to_quiescence(max_events=1)
+        assert status.quiescent

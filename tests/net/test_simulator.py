@@ -134,6 +134,30 @@ class TestCrashes:
         assert nodes["a"].connectivity[-1] == frozenset({"a", "b"})
 
 
+class TestPartitionDeliveryTime:
+    """Partitions act at delivery time, in both directions."""
+
+    def test_sent_during_partition_delivered_after_heal(self):
+        """A message queued across a partition survives if the partition
+        heals before the delivery event fires."""
+        net, nodes = make_net()
+        net.partition([{"a"}, {"b", "c"}])
+        nodes["a"].send("b", "early")
+        net.heal()  # before any delivery latency has elapsed
+        net.run_to_quiescence()
+        assert ("a", "early") in nodes["b"].received
+
+    def test_mid_flight_partition_drops_every_queued_copy(self):
+        net, nodes = make_net()
+        for i in range(4):
+            nodes["a"].send("b", ("m", i))
+        net.partition([{"a"}, {"b", "c"}])
+        net.run_to_quiescence()
+        assert nodes["b"].received == []
+        drops = [d for _, k, d in net.log if k == "drop"]
+        assert len(drops) == 4
+
+
 class TestTimers:
     def test_timer_fires(self):
         net, nodes = make_net()
@@ -148,12 +172,76 @@ class TestTimers:
         net.run_until(10)
         assert nodes["a"].timers == []
 
+    def test_timer_lost_while_crashed_stays_lost_after_recovery(self):
+        """A timer that fires during a crash is dropped, not deferred."""
+        net, nodes = make_net()
+        nodes["a"].set_timer(5, "wake")
+        net.crash("a")
+        net.run_until(10)  # firing time passes while crashed
+        net.recover("a")
+        net.run_to_quiescence()
+        assert nodes["a"].timers == []
+
+    def test_timer_fires_after_crash_recover_cycle(self):
+        """Recovery before the firing time keeps the timer armed."""
+        net, nodes = make_net()
+        nodes["a"].set_timer(8, "wake")
+        net.crash("a")
+        net.run_until(3)
+        net.recover("a")
+        net.run_until(10)
+        assert nodes["a"].timers == ["wake"]
+
     def test_cancel_timer(self):
         net, nodes = make_net()
         handle = nodes["a"].set_timer(5, "wake")
         net.cancel_timer(handle)
         net.run_until(10)
         assert nodes["a"].timers == []
+
+
+class TestFifoUnderJitter:
+    def test_per_channel_fifo_with_delay_fault(self):
+        """Latency jitter and spikes never reorder a channel."""
+        from repro.faults.models import DelayFault
+
+        net, nodes = make_net(seed=11)
+        net.install_fault(DelayFault(jitter=6.0, spike_prob=0.5, spike=25.0))
+        for i in range(12):
+            nodes["a"].send("b", ("m", i))
+            nodes["b"].send("a", ("r", i))
+        net.run_to_quiescence()
+        assert [m for _, m in nodes["b"].received] == [
+            ("m", i) for i in range(12)
+        ]
+        assert [m for _, m in nodes["a"].received] == [
+            ("r", i) for i in range(12)
+        ]
+
+
+class TestEventLogBounds:
+    def test_unbounded_by_default(self):
+        net, nodes = make_net()
+        for i in range(20):
+            nodes["a"].send("b", i)
+        net.run_to_quiescence()
+        assert net.log.dropped == 0
+        assert len(net.log) >= 40  # sends + delivers
+
+    def test_bounded_log_trims_oldest(self):
+        from repro.net import Network
+
+        net = Network(seed=0, log_limit=10)
+        nodes = {p: net.add_node(Echo(p)) for p in ["a", "b"]}
+        net.start()
+        for i in range(200):
+            nodes["a"].send("b", i)
+        net.run_to_quiescence()
+        assert len(net.log) <= 20  # trims in chunks, never above 2x limit
+        assert net.log.dropped > 0
+        # The tail is the most recent history.
+        times = [t for t, _, _ in net.log]
+        assert times == sorted(times)
 
 
 class TestTopology:

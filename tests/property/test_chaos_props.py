@@ -1,0 +1,60 @@
+"""Property tests: DVS/TO safety holds under arbitrary nemesis plans.
+
+Every generated fault schedule (crashes, partitions, flaky windows,
+one-way blocks...) is played against the healthy full stack with the
+online monitor armed.  The monitor raising would fail the test -- i.e.
+Invariant 4.1 and TO prefix-consistency must survive whatever the
+nemesis does.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checking.strategies import nemesis_plans
+from repro.faults.harness import run_chaos
+from repro.faults.nemesis import NemesisPlan
+
+PROCS = ["p1", "p2", "p3"]
+
+compact = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.filter_too_much],
+)
+
+
+class TestChaosSafety:
+    @compact
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        plan=nemesis_plans(PROCS, max_ops=5, horizon=60.0, max_duration=20.0),
+    )
+    def test_monitor_stays_quiet_on_healthy_stack(self, seed, plan):
+        result = run_chaos(
+            PROCS, seed=seed, plan=plan,
+            duration=min(plan.horizon + 30.0, 120.0),
+            settle_time=250.0,
+        )
+        assert result.ok, result.violation.summary()
+        assert result.stats["violations"] == 0
+
+    @compact
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        plan=nemesis_plans(PROCS, max_ops=4, horizon=50.0, max_duration=15.0),
+    )
+    def test_runs_replay_identically(self, seed, plan):
+        first = run_chaos(PROCS, seed=seed, plan=plan, duration=80.0)
+        second = run_chaos(PROCS, seed=seed, plan=plan, duration=80.0)
+        assert first.digest == second.digest
+        assert first.stats == second.stats
+
+
+class TestPlanStrategies:
+    @settings(max_examples=40, deadline=None)
+    @given(plan=nemesis_plans(PROCS))
+    def test_generated_plans_serialize(self, plan):
+        assert NemesisPlan.from_json(plan.to_json()) == plan
+        assert all(op.at <= op.end for op in plan)
+        assert plan.horizon >= 0.0

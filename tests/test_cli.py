@@ -45,3 +45,49 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Isis" in out
+
+
+class TestChaos:
+    def test_healthy_run_is_clean(self, capsys):
+        code = main(
+            ["chaos", "--seed", "3", "--processes", "4",
+             "--plan", "churn", "--duration", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no safety violations" in out
+        assert "log digest:" in out
+
+    def test_same_seed_same_digest(self, capsys):
+        def digest():
+            main(["chaos", "--seed", "5", "--processes", "4",
+                  "--plan", "storm", "--duration", "120"])
+            out = capsys.readouterr().out
+            (line,) = [l for l in out.splitlines()
+                       if l.startswith("log digest:")]
+            return line
+
+        assert digest() == digest()
+
+    def test_broken_stack_shrinks_to_repro(self, capsys):
+        code = main(
+            ["chaos", "--seed", "0", "--processes", "5",
+             "--plan", "churn", "--duration", "160", "--broken",
+             "--max-probes", "40"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "SAFETY VIOLATION" in out
+        assert "dvs-4.1-intersection" in out
+        assert "replay: python -m repro chaos" in out
+        assert "--broken" in out
+
+    def test_plan_json_replay(self, capsys):
+        plan = '[[10.0, "crash", ["p1"]], [40.0, "recover", ["p1"]]]'
+        code = main(
+            ["chaos", "--seed", "1", "--processes", "3",
+             "--plan-json", plan, "--duration", "90"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 fault ops" in out
