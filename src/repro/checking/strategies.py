@@ -11,7 +11,7 @@ from repro.core.viewids import ViewId
 from repro.core.views import View
 from repro.to.summaries import Label, Summary
 
-DEFAULT_PROCS = ["p1", "p2", "p3", "p4", "p5"]
+DEFAULT_PROCS = ("p1", "p2", "p3", "p4", "p5")
 
 
 def process_ids(procs=None):

@@ -17,6 +17,11 @@ chaos
     Run the full simulated stack under a seeded nemesis fault plan with
     the online safety monitor armed; on a violation, delta-debug the
     plan down to a minimal replayable counterexample.
+lint
+    Statically check the tree: automaton well-formedness
+    (pre_/eff_/cand_ contract, predicate purity), determinism
+    (wall-clock/entropy escapes, unsorted set iteration, id()
+    ordering) and cross-process aliasing.  Exits non-zero on findings.
 demo
     Run the partitioned-ledger scenario on the simulated cluster.
 """
@@ -260,6 +265,40 @@ def _cmd_chaos(args):
     return 1
 
 
+def _cmd_lint(args):
+    from repro.lint import RULES, LintConfig, lint_paths
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print("{0} {1:28s} [{2}] {3}".format(
+                rule.id, rule.name, rule.lint_pass, rule.summary
+            ))
+        return 0
+    config = LintConfig()
+    if args.select:
+        config = LintConfig(select=frozenset(
+            rule.strip()
+            for spec in args.select
+            for rule in spec.split(",")
+            if rule.strip()
+        ))
+    paths = args.paths or ["src/repro"]
+    report = lint_paths(paths, config=config)
+    rendered = (
+        report.to_json() if args.format == "json" else report.to_text()
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        if args.format == "json":
+            # Keep the human-readable summary on stdout even when the
+            # JSON artifact goes to a file (CI does exactly this).
+            print(report.to_text())
+    else:
+        print(rendered)
+    return 0 if report.ok else 1
+
+
 def _cmd_demo(args):
     import examples.partitioned_ledger as demo  # noqa: F401 - optional
 
@@ -338,6 +377,28 @@ def build_parser():
     chaos.add_argument("--log-limit", type=int, default=None,
                        help="bound the network event log (entries kept)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: automaton well-formedness, determinism, "
+             "cross-process aliasing",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text")
+    lint.add_argument("--output", default=None,
+                      help="write the report to a file")
+    lint.add_argument(
+        "--select", action="append", default=[],
+        help="comma-separated rule ids to enable (repeatable; "
+             "default: all)",
+    )
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule registry and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     demo = sub.add_parser("demo", help="partitioned-ledger demo")
     demo.set_defaults(func=_cmd_demo)

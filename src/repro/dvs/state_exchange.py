@@ -28,6 +28,7 @@ broadcast application over SX-DVS loses its whole recovery state machine
 """
 
 from dataclasses import dataclass
+from types import MappingProxyType
 
 from repro.core.messages import ProtocolMsg, RegisteredMsg
 from repro.core.tables import Table
@@ -159,15 +160,19 @@ class SXDVSSpec(DVSSpec):
                 yield act("sx_statesafe", p)
 
     # dvs_register is gone; guard against accidental use.
-    def eff_dvs_register(self, state, p):  # pragma: no cover - defensive
+    def eff_dvs_register(  # lint: ignore[DVS003] - deliberate guard
+        self, state, p
+    ):  # pragma: no cover - defensive
         raise AssertionError("SX-DVS has no dvs_register action")
 
 
-_SX_PROC_PARAM = dict(_PROC_PARAM)
-_SX_PROC_PARAM.update(
-    {"sx_sendstate": 1, "sx_statedelivery": 1, "sx_statesafe": 0}
-)
-_SX_PROC_PARAM.pop("dvs_register", None)
+#: Read-only: module globals are shared by every simulated process.
+_SX_PROC_PARAM = MappingProxyType({
+    **{k: v for k, v in _PROC_PARAM.items() if k != "dvs_register"},
+    "sx_sendstate": 1,
+    "sx_statedelivery": 1,
+    "sx_statesafe": 0,
+})
 
 
 class VsToSxDvs(VsToDvs):
@@ -290,7 +295,9 @@ class VsToSxDvs(VsToDvs):
             yield act("sx_statesafe", self.pid)
 
     # dvs_register no longer exists on this layer.
-    def eff_dvs_register(self, state, p):  # pragma: no cover - defensive
+    def eff_dvs_register(  # lint: ignore[DVS003] - deliberate guard
+        self, state, p
+    ):  # pragma: no cover - defensive
         raise AssertionError("SX-DVS filter has no dvs_register input")
 
 

@@ -47,6 +47,7 @@ service's signature):
 """
 
 from dataclasses import dataclass
+from types import MappingProxyType
 
 from repro.core.messages import (
     InfoMsg,
@@ -62,7 +63,8 @@ from repro.ioa.automaton import TransitionAutomaton
 from repro.ioa.state import State
 
 #: Index of the "process at which this action occurs" parameter, per action.
-_PROC_PARAM = {
+#: Read-only: module globals are shared by every simulated process.
+_PROC_PARAM = MappingProxyType({
     "dvs_gpsnd": 1,
     "dvs_register": 0,
     "vs_newview": 1,
@@ -73,7 +75,7 @@ _PROC_PARAM = {
     "dvs_gprcv": 2,
     "dvs_safe": 2,
     "dvs_garbage_collect": 1,
-}
+})
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,10 @@ checked by the test suite.
 """
 
 from repro.gcs.dvs_layer import DvsLayer, DvsListener
+from repro.gcs.effect_check import (
+    EffectIsolationChecker,
+    EffectIsolationError,
+)
 from repro.gcs.recorder import ActionLog
 from repro.gcs.to_layer import ToLayer, ToListener
 from repro.gcs.vs_stack import VsListener, VsStackNode
@@ -32,6 +36,8 @@ __all__ = [
     "ActionLog",
     "DvsLayer",
     "DvsListener",
+    "EffectIsolationChecker",
+    "EffectIsolationError",
     "ToLayer",
     "ToListener",
     "VsListener",

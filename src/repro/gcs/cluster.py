@@ -32,7 +32,12 @@ class Cluster:
       (e.g. :class:`repro.dvs.ablation.NoMajorityDvsLayer`), signature
       ``factory(stack, initial_view, recorder=...)``;
     - ``log_limit`` -- bound the network event log's memory (entries
-      kept), for long monitored-elsewhere runs.
+      kept), for long monitored-elsewhere runs;
+    - ``check_effects`` -- debug mode: bracket every event dispatch
+      with snapshots of every *other* process's layer state and raise
+      :class:`~repro.gcs.effect_check.EffectIsolationError` if handling
+      an event at one process mutates another's state (the runtime
+      cross-check of the ``repro lint`` purity/aliasing passes).
     """
 
     def __init__(
@@ -47,6 +52,7 @@ class Cluster:
         monitor=None,
         dvs_factory=None,
         log_limit=None,
+        check_effects=False,
     ):
         self.processes = sorted(processes)
         if initial_view is None:
@@ -76,6 +82,11 @@ class Cluster:
             self.dvs[pid] = dvs
             if with_to_layer:
                 self.to[pid] = ToLayer(dvs, initial_view, recorder=self.log)
+        self.effect_checker = None
+        if check_effects:
+            from repro.gcs.effect_check import EffectIsolationChecker
+
+            self.effect_checker = EffectIsolationChecker(self).install()
 
     def _build_monitor(self, monitor):
         if not monitor:

@@ -1,0 +1,92 @@
+"""Pass 3: cross-process aliasing (rules DVS010-DVS011).
+
+Every simulated process is an object graph inside one Python process,
+so module globals and class-level attributes are *physically shared*
+across all of them.  A mutable container there silently couples
+processes that the distributed model requires to be independent (a
+membership set one process appends to would "teleport" to the others).
+The pass flags module-level and class-level mutable containers;
+read-only tables should be tuples, frozensets or ``MappingProxyType``.
+"""
+
+import ast
+
+from repro.lint.report import Finding
+
+#: Constructor names producing mutable containers.
+MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "defaultdict", "OrderedDict", "Counter", "deque",
+})
+
+#: Module-level names exempt by convention (consumed read-only by the
+#: import machinery itself).
+EXEMPT_MODULE_NAMES = frozenset({"__all__"})
+
+
+def _is_mutable_value(node):
+    if isinstance(node, (
+        ast.List, ast.Dict, ast.Set,
+        ast.ListComp, ast.DictComp, ast.SetComp,
+    )):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in MUTABLE_CALLS
+    return False
+
+
+def _describe(node):
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        return node.func.id
+    return "container"
+
+
+def _assignments(body):
+    for stmt in body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    yield stmt, target.id, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                yield stmt, stmt.target.id, stmt.value
+
+
+def run_pass(model, config):
+    """All pass-3 findings over the model."""
+    findings = []
+
+    def flag(rule, module, stmt, message):
+        if config.enabled(rule):
+            findings.append(Finding(
+                rule=rule, path=module.path, line=stmt.lineno,
+                col=stmt.col_offset, message=message,
+            ))
+
+    for module in model.modules:
+        for stmt, name, value in _assignments(module.tree.body):
+            if name in EXEMPT_MODULE_NAMES:
+                continue
+            if _is_mutable_value(value):
+                flag(
+                    "DVS010", module, stmt,
+                    "module-level {0} {1!r} is shared across all "
+                    "simulated processes".format(_describe(value), name),
+                )
+        for info in module.classes:
+            for stmt, name, value in _assignments(info.node.body):
+                if _is_mutable_value(value):
+                    flag(
+                        "DVS011", module, stmt,
+                        "class attribute {0}.{1} is a mutable {2} "
+                        "shared by every instance".format(
+                            info.name, name, _describe(value)
+                        ),
+                    )
+    return findings

@@ -1,0 +1,243 @@
+"""Pass 2: determinism sanitizer (rules DVS006-DVS009).
+
+The simulator must replay bit-for-bit from a seed (PR 1's counterexample
+shrinking and log digests depend on it), so simulation code may not:
+
+- read the wall clock (DVS006) -- simulated time is ``net.queue.now``;
+- draw from global or unseeded entropy (DVS007) -- all randomness flows
+  from ``random.Random(seed)`` instances plumbed from the run seed;
+- iterate sets (or ``.keys()`` views) without ``sorted`` in
+  ordering-sensitive paths: ``pre_``/``eff_``/``cand_`` bodies and the
+  event-path modules from the config (DVS008) -- set order depends on
+  ``PYTHONHASHSEED``;
+- order anything by ``id()`` (DVS009) -- addresses vary per run.
+"""
+
+import ast
+
+from repro.lint.model import dotted_name, resolve_dotted
+from repro.lint.report import Finding
+
+#: Fully dotted callables that read the wall clock.
+WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.clock_gettime", "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Fully dotted callables that are unconditional entropy escapes.
+ENTROPY = frozenset({
+    "os.urandom", "uuid.uuid1", "uuid.uuid4", "random.SystemRandom",
+})
+
+#: Aggregators whose result does not depend on iteration order, so a
+#: generator over a set fed straight into them is safe.
+ORDER_INSENSITIVE_CONSUMERS = frozenset({
+    "any", "all", "sum", "len", "min", "max",
+    "sorted", "set", "frozenset",
+})
+
+_SET_CALLS = frozenset({"set", "frozenset"})
+
+
+def _is_setish(node):
+    """Syntactically certain to produce a set (or a dict key view)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SET_CALLS:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == "keys" and (
+            not node.args and not node.keywords
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_setish(node.left) or _is_setish(node.right)
+    return False
+
+
+def _describe_iter(node):
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "a set expression"
+    if len(text) > 40:
+        text = text[:37] + "..."
+    return repr(text)
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, module, config, whole_module_event_path):
+        self.module = module
+        self.config = config
+        self.whole_module = whole_module_event_path
+        self.findings = []
+        #: Depth of enclosing ordering-sensitive function bodies.
+        self._sensitive_depth = 0
+
+    def _flag(self, rule, node, message):
+        if self.config.enabled(rule):
+            self.findings.append(Finding(
+                rule=rule, path=self.module.path, line=node.lineno,
+                col=node.col_offset, message=message,
+            ))
+
+    # -- Wall clock / entropy (whole file) ----------------------------
+
+    def visit_Call(self, node):
+        dotted = resolve_dotted(
+            dotted_name(node.func), self.module.imports
+        )
+        if dotted in WALL_CLOCK:
+            self._flag(
+                "DVS006", node,
+                "call to {0}() reads the wall clock".format(dotted),
+            )
+        elif dotted in ENTROPY:
+            self._flag(
+                "DVS007", node,
+                "call to {0}() is an entropy escape".format(dotted),
+            )
+        elif dotted is not None and dotted.startswith("random."):
+            # The one blessed pattern is constructing a *seeded* RNG:
+            # random.Random(seed).  Everything else on the module --
+            # random.random(), random.choice(), random.seed() -- hits
+            # the process-global generator.
+            if dotted == "random.Random":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        "DVS007", node,
+                        "random.Random() without a seed draws from OS "
+                        "entropy",
+                    )
+            elif dotted.count(".") == 1:
+                self._flag(
+                    "DVS007", node,
+                    "call to {0}() uses the process-global RNG".format(
+                        dotted
+                    ),
+                )
+        elif dotted is not None and dotted.startswith("secrets."):
+            self._flag(
+                "DVS007", node,
+                "call to {0}() is an entropy escape".format(dotted),
+            )
+
+        self._check_id_ordering(node)
+        self.generic_visit(node)
+
+    # -- id() ordering ------------------------------------------------
+
+    def _check_id_ordering(self, call):
+        dotted = dotted_name(call.func)
+        is_orderer = dotted in ("sorted", "min", "max") or (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "sort"
+        )
+        if not is_orderer:
+            return
+        for kw in call.keywords:
+            if kw.arg == "key" and isinstance(kw.value, ast.Name) and (
+                kw.value.id == "id"
+            ):
+                self._flag(
+                    "DVS009", call,
+                    "{0}(key=id) orders by object address".format(
+                        dotted or "sort"
+                    ),
+                )
+        for arg in call.args:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Call) and isinstance(
+                    sub.func, ast.Name
+                ) and sub.func.id == "id":
+                    self._flag(
+                        "DVS009", call,
+                        "{0}(...) over id() values orders by object "
+                        "address".format(dotted or "sort"),
+                    )
+
+    def visit_Compare(self, node):
+        if any(
+            isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+            for op in node.ops
+        ):
+            for sub in [node.left] + node.comparators:
+                if isinstance(sub, ast.Call) and isinstance(
+                    sub.func, ast.Name
+                ) and sub.func.id == "id":
+                    self._flag(
+                        "DVS009", node,
+                        "comparison of id() values orders by object "
+                        "address",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- Unsorted set iteration (scoped) ------------------------------
+
+    def _in_sensitive_scope(self):
+        return self.whole_module or self._sensitive_depth > 0
+
+    def visit_FunctionDef(self, node):
+        sensitive = node.name.startswith(("pre_", "eff_", "cand_"))
+        if sensitive:
+            self._sensitive_depth += 1
+        self.generic_visit(node)
+        if sensitive:
+            self._sensitive_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _check_iter(self, iter_node, consumer_exempt=False):
+        if consumer_exempt or not self._in_sensitive_scope():
+            return
+        if _is_setish(iter_node):
+            self._flag(
+                "DVS008", iter_node,
+                "iteration over {0} has hash-dependent order; wrap in "
+                "sorted(...)".format(_describe_iter(iter_node)),
+            )
+
+    def visit_For(self, node):
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node):
+        # Building a set is itself order-insensitive; any later
+        # iteration over the result is checked at that later site.
+        exempt = isinstance(node, ast.SetComp)
+        if isinstance(node, ast.GeneratorExp):
+            parent = self.module.parents.get(node)
+            if isinstance(parent, ast.Call):
+                consumer = dotted_name(parent.func)
+                exempt = consumer in ORDER_INSENSITIVE_CONSUMERS
+        for index, gen in enumerate(node.generators):
+            # Only the outermost generator feeds the consumer directly.
+            self._check_iter(
+                gen.iter, consumer_exempt=(exempt and index == 0)
+            )
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+def run_pass(model, config):
+    """All pass-2 findings over the model."""
+    findings = []
+    for module in model.modules:
+        visitor = _DeterminismVisitor(
+            module, config, config.is_event_path(module.path)
+        )
+        visitor.visit(module.tree)
+        findings.extend(visitor.findings)
+    return findings

@@ -1,0 +1,262 @@
+"""The cross-file source model the passes analyse.
+
+One :class:`SourceModel` is built per lint run.  It holds, per file, the
+parsed AST, source lines, a parent map (child AST node -> parent) and an
+import map (local name -> fully dotted origin); plus a project-wide
+class index so inheritance resolves across modules (subclasses of
+``TransitionAutomaton`` inherit signatures and handlers -- e.g.
+``LiteralSafeVsToDvs`` redeclares effects but inherits preconditions).
+
+Resolution is by simple class name, which is unambiguous in this
+repository; a name collision would only make the model conservative
+(last definition wins), never crash.
+"""
+
+import ast
+from dataclasses import dataclass, field
+
+
+def parse_module(path, source):
+    """Parse ``source``; return the AST or ``None`` on a syntax error."""
+    try:
+        return ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return None
+
+
+def build_parent_map(tree):
+    parents = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def build_import_map(tree):
+    """Local name -> fully dotted origin, for top-level imports.
+
+    ``import time``                 -> {"time": "time"}
+    ``import os.path``              -> {"os": "os"}
+    ``from datetime import datetime`` -> {"datetime": "datetime.datetime"}
+    ``from random import Random as R`` -> {"R": "random.Random"}
+    """
+    imports = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else local
+                imports[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never reach stdlib entropy
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = node.module + "." + alias.name
+    return imports
+
+
+def dotted_name(node):
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_dotted(name, imports):
+    """Expand the first segment of ``name`` through the import map."""
+    if name is None:
+        return None
+    head, sep, rest = name.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return name
+    return origin + sep + rest
+
+
+def chain_root(node):
+    """The root Name of an attribute/subscript chain, else ``None``.
+
+    ``state.queue[p].msgs`` -> ``"state"``; ``sorted(x).pop`` -> ``None``
+    (rooted in a fresh value, so mutating it is harmless).
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def literal_name_set(node):
+    """Statically evaluate a signature declaration to a frozenset of
+    action names, or ``None`` if it is not a recognised literal form.
+
+    Handles set/list/tuple literals of strings, ``set(...)`` /
+    ``frozenset(...)`` over those, and ``|`` unions of recognised forms.
+    """
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        names = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                names.append(elt.value)
+            else:
+                return None
+        return frozenset(names)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("frozenset", "set") and not node.keywords:
+            if not node.args:
+                return frozenset()
+            if len(node.args) == 1:
+                return literal_name_set(node.args[0])
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = literal_name_set(node.left)
+        right = literal_name_set(node.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None
+
+
+#: Names of action-handler prefixes making up the automaton contract.
+HANDLER_PREFIXES = ("pre_", "eff_", "cand_")
+
+#: The base classes granting the contract.  ``TransitionAutomaton``
+#: itself (and the abstract ``Automaton``) are exempt from checking.
+AUTOMATON_BASES = frozenset({"TransitionAutomaton"})
+ABSTRACT_NAMES = frozenset({"TransitionAutomaton", "Automaton"})
+
+
+@dataclass
+class ClassInfo:
+    """One class definition, with enough structure for pass 1 and 3."""
+
+    name: str
+    node: ast.ClassDef
+    path: str
+    base_names: tuple
+    #: Signature field name -> declared AST value node (own decls only).
+    signature_decls: dict = field(default_factory=dict)
+    #: Handler method name -> FunctionDef (own defs only).
+    handlers: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_node(cls, node, path):
+        bases = tuple(
+            name for name in (
+                dotted_name(base) for base in node.bases
+            ) if name
+        )
+        info = cls(node.name, node, path, bases)
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id in (
+                        "inputs", "outputs", "internals"
+                    ):
+                        info.signature_decls[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name) and stmt.target.id in (
+                    "inputs", "outputs", "internals"
+                ) and stmt.value is not None:
+                    info.signature_decls[stmt.target.id] = stmt.value
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name.startswith(HANDLER_PREFIXES):
+                    info.handlers[stmt.name] = stmt
+        return info
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file."""
+
+    path: str
+    tree: ast.Module
+    lines: tuple
+    imports: dict
+    parents: dict
+    classes: list
+
+
+class SourceModel:
+    """All parsed modules plus the project-wide class index."""
+
+    def __init__(self):
+        self.modules = []
+        self.class_index = {}
+
+    def add_module(self, path, source):
+        tree = parse_module(path, source)
+        if tree is None:
+            return None
+        classes = [
+            ClassInfo.from_node(node, str(path))
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        module = ModuleInfo(
+            path=str(path),
+            tree=tree,
+            lines=tuple(source.splitlines()),
+            imports=build_import_map(tree),
+            parents=build_parent_map(tree),
+            classes=classes,
+        )
+        self.modules.append(module)
+        for info in classes:
+            self.class_index[info.name] = info
+        return module
+
+    # -- Inheritance-aware queries ------------------------------------
+
+    def mro_chain(self, info):
+        """The class and its project-local ancestors, derived-most
+        first (simple-name resolution; diamond-free in this codebase)."""
+        chain = []
+        seen = set()
+        stack = [info]
+        while stack:
+            current = stack.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            chain.append(current)
+            for base in current.base_names:
+                base_info = self.class_index.get(base.split(".")[-1])
+                if base_info is not None:
+                    stack.append(base_info)
+        return chain
+
+    def is_automaton(self, info):
+        """Whether ``info`` is a (strict) TransitionAutomaton subclass."""
+        if info.name in ABSTRACT_NAMES:
+            return False
+        for ancestor in self.mro_chain(info):
+            for base in ancestor.base_names:
+                if base.split(".")[-1] in AUTOMATON_BASES:
+                    return True
+        return False
+
+    def resolved_signature(self, info, fieldname):
+        """The effective ``inputs``/``outputs``/``internals`` of a
+        class, following Python attribute lookup (first declaration on
+        the chain wins).  ``None`` means statically unresolvable."""
+        for ancestor in self.mro_chain(info):
+            decl = ancestor.signature_decls.get(fieldname)
+            if decl is not None:
+                return literal_name_set(decl)
+        return frozenset()  # TransitionAutomaton's empty default
+
+    def resolved_handlers(self, info):
+        """Handler name -> (defining ClassInfo, FunctionDef), with the
+        derived-most definition winning."""
+        handlers = {}
+        for ancestor in self.mro_chain(info):
+            for name, node in ancestor.handlers.items():
+                handlers.setdefault(name, (ancestor, node))
+        return handlers

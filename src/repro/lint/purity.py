@@ -1,0 +1,106 @@
+"""Side-effect-freedom checks for predicates.
+
+A *predicate* here is any function that the I/O-automaton semantics
+requires to be pure: a precondition (``pre_*``), a candidate enumerator
+(``cand_*``) or an invariant function (``invariant_*`` / ``inv_*``).
+The paper evaluates these arbitrarily often and in arbitrary order
+(enabledness probing, candidate enumeration, invariant sweeps), so any
+mutation of automaton state through them is a soundness bug.
+
+The check is syntactic and deliberately conservative-but-shallow: it
+flags writes and known-mutator calls on attribute/subscript chains
+rooted at the receiver (``self``) or the state parameter.  Mutations
+through a local alias (``q = state.queue; q.append(x)``) are not
+caught statically -- the runtime cross-check
+(:class:`repro.gcs.effect_check.EffectIsolationChecker`) covers that
+side dynamically.
+"""
+
+import ast
+
+from repro.lint.model import chain_root
+from repro.lint.report import Finding
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear",
+    "add", "discard", "update", "setdefault", "popitem",
+    "sort", "reverse", "appendleft", "popleft", "extendleft",
+    "write", "setdefault",
+})
+
+#: Function-name prefixes treated as invariant predicates.
+INVARIANT_PREFIXES = ("invariant_", "inv_")
+
+
+def predicate_roots(func, is_method):
+    """The parameter names whose reachable state must not be mutated.
+
+    For methods that is the receiver plus the state parameter (the
+    ``pre_(self, state, *params)`` convention); for plain invariant
+    functions it is every parameter (invariants only take state).
+    """
+    args = func.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    if is_method:
+        return frozenset(names[:2])
+    return frozenset(names)
+
+
+def check_predicate(func, roots, relpath, kind):
+    """Findings for impure statements in ``func``'s body.
+
+    ``kind`` names the predicate flavour for the message
+    ("precondition", "candidate generator", "invariant").
+    """
+    findings = []
+
+    def flag(rule, node, what):
+        findings.append(Finding(
+            rule=rule,
+            path=relpath,
+            line=node.lineno,
+            col=node.col_offset,
+            message="{0} {1}() {2}".format(kind, func.name, what),
+        ))
+
+    def rooted(node):
+        root = chain_root(node)
+        return root is not None and root in roots
+
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, (ast.Attribute, ast.Subscript)):
+                        if rooted(leaf):
+                            flag(
+                                "DVS004", node,
+                                "assigns to {0!r}".format(
+                                    ast.unparse(leaf)
+                                ),
+                            )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    if rooted(target):
+                        flag(
+                            "DVS004", node,
+                            "deletes {0!r}".format(ast.unparse(target)),
+                        )
+        elif isinstance(node, ast.Call):
+            func_node = node.func
+            if (
+                isinstance(func_node, ast.Attribute)
+                and func_node.attr in MUTATOR_METHODS
+                and rooted(func_node.value)
+            ):
+                flag(
+                    "DVS005", node,
+                    "calls mutator {0!r}".format(ast.unparse(func_node)),
+                )
+    return findings

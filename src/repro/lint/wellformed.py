@@ -1,0 +1,150 @@
+"""Pass 1: automaton well-formedness (rules DVS001-DVS005).
+
+Checks every :class:`~repro.ioa.automaton.TransitionAutomaton` subclass
+against the precondition/effect contract of the paper's figures:
+
+- every output/internal action with an ``eff_`` has an explicit
+  ``pre_`` (DVS001) -- the base class defaults a missing precondition
+  to ``True``, which is almost always an authoring mistake in
+  precondition/effect style;
+- no ``pre_`` guards an input action (DVS002, input-enabledness);
+- every handler names an action in the resolved signature, and
+  ``cand_`` only enumerates locally controlled actions (DVS003);
+- ``pre_``/``cand_`` bodies are side-effect-free (DVS004/DVS005), as
+  are ``invariant_*`` functions anywhere in the tree.
+"""
+
+import ast
+from types import MappingProxyType
+
+from repro.lint.model import HANDLER_PREFIXES
+from repro.lint.purity import (
+    INVARIANT_PREFIXES,
+    check_predicate,
+    predicate_roots,
+)
+from repro.lint.report import Finding
+
+_PREDICATE_KINDS = MappingProxyType(
+    {"pre_": "precondition", "cand_": "candidate generator"}
+)
+
+
+def _split_handler(name):
+    for prefix in HANDLER_PREFIXES:
+        if name.startswith(prefix):
+            return prefix, name[len(prefix):]
+    return None, None
+
+
+def _check_class(model, info, config):
+    findings = []
+    inputs = model.resolved_signature(info, "inputs")
+    outputs = model.resolved_signature(info, "outputs")
+    internals = model.resolved_signature(info, "internals")
+    signature_known = None not in (inputs, outputs, internals)
+    if signature_known:
+        controlled = outputs | internals
+        all_actions = inputs | controlled
+    handlers = model.resolved_handlers(info)
+
+    def flag(rule, node, message):
+        findings.append(Finding(
+            rule=rule, path=info.path, line=node.lineno,
+            col=node.col_offset, message=message,
+        ))
+
+    for name, (owner, func) in sorted(handlers.items()):
+        prefix, action = _split_handler(name)
+        # Report at the definition site only for the defining class, so
+        # subclasses do not duplicate inherited findings.
+        own = owner is info
+        if signature_known and own:
+            if action not in all_actions and config.enabled("DVS003"):
+                flag(
+                    "DVS003", func,
+                    "{0}.{1} handles {2!r}, which is not in the "
+                    "signature".format(info.name, name, action),
+                )
+                continue
+            if prefix == "pre_" and action in inputs and (
+                config.enabled("DVS002")
+            ):
+                flag(
+                    "DVS002", func,
+                    "{0}.{1} guards input action {2!r}; inputs are "
+                    "always enabled".format(info.name, name, action),
+                )
+            if prefix == "cand_" and action in inputs and (
+                config.enabled("DVS003")
+            ):
+                flag(
+                    "DVS003", func,
+                    "{0}.{1} enumerates input action {2!r}; the "
+                    "environment controls inputs".format(
+                        info.name, name, action
+                    ),
+                )
+        if prefix in _PREDICATE_KINDS and own and (
+            config.enabled("DVS004") or config.enabled("DVS005")
+        ):
+            found = check_predicate(
+                func,
+                predicate_roots(func, is_method=True),
+                info.path,
+                _PREDICATE_KINDS[prefix],
+            )
+            findings.extend(
+                f for f in found if config.enabled(f.rule)
+            )
+
+    if signature_known and config.enabled("DVS001"):
+        for action in sorted(controlled):
+            eff = handlers.get("eff_" + action)
+            if eff is not None and ("pre_" + action) not in handlers:
+                owner, func = eff
+                if owner is info:
+                    flag(
+                        "DVS001", func,
+                        "{0}: {1} action {2!r} has eff_{2} but no "
+                        "pre_{2}".format(
+                            info.name,
+                            "output" if action in outputs else "internal",
+                            action,
+                        ),
+                    )
+    return findings
+
+
+def _check_invariants(module, config):
+    """Purity of ``invariant_*`` / ``inv_*`` functions (module level or
+    nested), wherever they are defined."""
+    findings = []
+    if not (config.enabled("DVS004") or config.enabled("DVS005")):
+        return findings
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if not node.name.startswith(INVARIANT_PREFIXES):
+            continue
+        parent = module.parents.get(node)
+        is_method = isinstance(parent, ast.ClassDef)
+        found = check_predicate(
+            node,
+            predicate_roots(node, is_method=is_method),
+            module.path,
+            "invariant",
+        )
+        findings.extend(f for f in found if config.enabled(f.rule))
+    return findings
+
+
+def run_pass(model, config):
+    """All pass-1 findings over the model."""
+    findings = []
+    for module in model.modules:
+        for info in module.classes:
+            if model.is_automaton(info):
+                findings.extend(_check_class(model, info, config))
+        findings.extend(_check_invariants(module, config))
+    return findings

@@ -23,6 +23,8 @@ value of ``order`` while this node was in each view.  It appears in
 Invariant 6.3 only.
 """
 
+from types import MappingProxyType
+
 from repro.core.sequences import head, nth, remove_head
 from repro.core.tables import Table
 from repro.core.viewids import G0
@@ -31,7 +33,8 @@ from repro.ioa.automaton import TransitionAutomaton
 from repro.ioa.state import State
 from repro.to.summaries import Label, Summary, fullorder, maxnextconfirm
 
-_PROC_PARAM = {
+#: Read-only: module globals are shared by every simulated process.
+_PROC_PARAM = MappingProxyType({
     "bcast": 1,
     "label": 1,
     "confirm": 0,
@@ -41,7 +44,7 @@ _PROC_PARAM = {
     "dvs_newview": 1,
     "dvs_gprcv": 2,
     "dvs_safe": 2,
-}
+})
 
 NORMAL = "normal"
 SEND = "send"

@@ -15,6 +15,8 @@ Section 7 exercise the paper proposes: the application shrinks by a full
 protocol phase, at the cost of a richer service interface.
 """
 
+from types import MappingProxyType
+
 from repro.core.sequences import head, nth, remove_head
 from repro.core.tables import Table
 from repro.core.viewids import G0
@@ -23,7 +25,8 @@ from repro.ioa.automaton import TransitionAutomaton
 from repro.ioa.state import State
 from repro.to.summaries import Label, Summary, fullorder, maxnextconfirm
 
-_PROC_PARAM = {
+#: Read-only: module globals are shared by every simulated process.
+_PROC_PARAM = MappingProxyType({
     "bcast": 1,
     "label": 1,
     "confirm": 0,
@@ -35,7 +38,7 @@ _PROC_PARAM = {
     "sx_sendstate": 1,
     "sx_statedelivery": 1,
     "sx_statesafe": 0,
-}
+})
 
 
 class SxToState(State):

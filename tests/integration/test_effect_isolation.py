@@ -1,0 +1,91 @@
+"""Runtime cross-check of the static purity/aliasing passes.
+
+``repro lint`` proves *syntactically* that no handler mutates foreign
+state; ``Cluster(check_effects=True)`` proves it *dynamically* on real
+runs by snapshot-comparing every other process's layer state around
+each event dispatch.  These tests run the full stack through view
+changes, partitions and broadcasts with the checker armed -- and then
+deliberately break isolation to show the checker actually bites.
+"""
+
+import pytest
+
+from repro.checking import check_to_trace_properties
+from repro.gcs.cluster import Cluster
+from repro.gcs.effect_check import EffectIsolationError
+
+
+class TestCheckEffectsCleanRuns:
+    def test_quiet_formation_is_isolated(self):
+        c = Cluster(list("abc"), seed=11, check_effects=True).start()
+        c.settle(max_time=60)
+        assert c.effect_checker.checks > 0
+
+    def test_partition_heal_broadcasts_are_isolated(self):
+        c = Cluster(list("abcd"), seed=12, check_effects=True).start()
+        c.settle(max_time=60)
+        for pid in "abcd":
+            c.bcast(pid, ("m", pid))
+        c.settle(max_time=60)
+        c.partition({"a", "b", "c"}, {"d"})
+        c.settle(max_time=60)
+        c.bcast("a", ("m2", "a"))
+        c.heal()
+        c.settle(max_time=240)
+        assert c.effect_checker.checks > 100
+        # The monitored run still satisfies the TO trace properties.
+        check_to_trace_properties(c.log.actions)
+
+    def test_crash_recovery_is_isolated(self):
+        c = Cluster(list("abc"), seed=13, check_effects=True).start()
+        c.settle(max_time=60)
+        c.crash("c")
+        c.settle(max_time=60)
+        c.bcast("a", ("during-crash", "a"))
+        c.recover("c")
+        c.settle(max_time=240)
+        assert c.effect_checker.checks > 0
+
+
+class TestCheckEffectsCatchesViolations:
+    def test_foreign_mutation_raises(self):
+        c = Cluster(list("abc"), seed=14, check_effects=True)
+        victim = c.dvs["a"]
+        original = c.dvs["b"]._on_info
+
+        def evil(info, sender):
+            original(info, sender)
+            # Reaches across process boundaries: b's handler pokes a's
+            # filter state, which a real distributed system cannot do.
+            victim.pending_deliveries.append(("smuggled", "b"))
+
+        c.dvs["b"]._on_info = evil
+        c.start()
+        with pytest.raises(EffectIsolationError) as excinfo:
+            c.settle(max_time=120)
+        assert excinfo.value.foreign_pid == "a"
+        assert any(
+            "pending_deliveries" in detail
+            for detail in excinfo.value.details
+        )
+
+    def test_in_place_foreign_mutation_is_seen(self):
+        """Mutating a foreign *nested* structure (no rebinding) is
+        caught too -- this is exactly what repr-by-address would miss
+        and the structural fingerprint must not."""
+        c = Cluster(list("abc"), seed=15, check_effects=True)
+        victim_stack = c.stacks["a"]
+        original = c.dvs["b"]._on_info
+
+        def evil(info, sender):
+            original(info, sender)
+            victim_stack.ordering.safe_notes.add(("bogus", 0))
+
+        c.dvs["b"]._on_info = evil
+        c.start()
+        with pytest.raises(EffectIsolationError):
+            c.settle(max_time=120)
+
+    def test_checker_off_by_default(self):
+        c = Cluster(list("ab"), seed=16)
+        assert c.effect_checker is None

@@ -55,7 +55,11 @@ class TestRuntimeTower:
     def test_runtime_stack_matches_ioa_guarantees(self, seed):
         from repro.gcs.cluster import Cluster
 
-        c = Cluster(list("abcd"), seed=seed).start()
+        # One seed runs with the effect-isolation checker armed: the
+        # dynamic cross-check of the repro-lint purity/aliasing passes.
+        c = Cluster(
+            list("abcd"), seed=seed, check_effects=(seed == 0)
+        ).start()
         c.settle(max_time=60)
         for i in range(2):
             for pid in "abcd":

@@ -1,0 +1,16 @@
+"""Seeded pass-3 violations (DVS010/DVS011)."""
+
+REGISTRY = {}  # expect DVS010
+QUEUE = []  # expect DVS010
+SHARED = set()  # expect DVS010
+TABLE = dict(a=1)  # expect DVS010
+BY_NAME = {n: n for n in ("a", "b")}  # expect DVS010
+
+
+class Proc:
+    peers = []  # expect DVS011
+    cache = {}  # expect DVS011
+    marks: list = [1, 2]  # expect DVS011 (annotated)
+
+    def __init__(self, pid):
+        self.pid = pid

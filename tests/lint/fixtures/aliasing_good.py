@@ -1,0 +1,20 @@
+"""Clean pass-3 code: the negative fixture for DVS010/DVS011."""
+
+from types import MappingProxyType
+
+__all__ = ["Proc"]  # exempt by convention
+
+NAMES = ("a", "b", "c")
+GROUP = frozenset({"a", "b"})
+TABLE = MappingProxyType({"a": 1})
+LIMIT = 16
+
+
+class Proc:
+    names = ("a", "b")
+    group = frozenset({"a"})
+    limit = 4
+
+    def __init__(self):
+        self.peers = []  # per-instance state: allowed
+        self.cache = {}

@@ -1,0 +1,44 @@
+"""Seeded pass-2 violations (DVS006-DVS009)."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp():
+    return time.time()  # expect DVS006
+
+
+def stamp_dt():
+    return datetime.now()  # expect DVS006
+
+
+def entropy():
+    token = uuid.uuid4()  # expect DVS007
+    noise = os.urandom(8)  # expect DVS007
+    pick = random.choice([1, 2, 3])  # expect DVS007 (global RNG)
+    rng = random.Random()  # expect DVS007 (unseeded)
+    return token, noise, pick, rng
+
+
+class Stepper:
+    def eff_step(self, state, p):
+        for q in {"a", "b", "c"}:  # expect DVS008
+            state.order.append(q)
+        for key in state.table.keys():  # expect DVS008
+            state.order.append(key)
+
+    def cand_step(self, state):
+        for q in set(state.members) - {d for d in state.down}:
+            # expect DVS008 (set arithmetic)
+            yield ("step", q)
+
+
+def tie_break(xs):
+    return sorted(xs, key=id)  # expect DVS009
+
+
+def address_order(a, b):
+    return id(a) < id(b)  # expect DVS009

@@ -1,0 +1,34 @@
+"""Clean pass-2 code: the negative fixture for DVS006-DVS009."""
+
+import random
+
+
+def seeded(seed):
+    rng = random.Random(seed)  # seeded plumbing: allowed
+    return rng.random()  # instance draw: allowed
+
+
+class Stepper:
+    def eff_step(self, state, p):
+        for q in sorted({"a", "b", "c"}):  # sorted: allowed
+            state.order.append(q)
+        if any(q == p for q in {"a", "b"}):  # order-insensitive sink
+            state.seen = True
+        total = sum(1 for q in set(state.members))  # order-insensitive
+        state.total = total
+        fresh = {q for q in set(state.members)}  # builds a set: allowed
+        state.fresh = fresh
+
+    def helper(self, state):
+        # Not an eff_/pre_/cand_ and not an event-path module, so out
+        # of DVS008 scope by design.
+        for q in {"x", "y"}:
+            state.order.append(q)
+
+
+def stable_order(xs):
+    return sorted(xs, key=str)
+
+
+def identity_check(a, b):
+    return id(a) == id(b)  # equality (not ordering): allowed

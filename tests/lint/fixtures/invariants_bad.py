@@ -1,0 +1,16 @@
+"""Seeded impure-invariant violations (DVS004/DVS005 outside classes)."""
+
+
+def invariant_counts_match(state):
+    state.cache = {}  # expect DVS004
+    state.log.append("checked")  # expect DVS005
+    return len(state.log) == state.count
+
+
+def inv_prefix_closed(state):
+    del state.scratch["tmp"]  # expect DVS004 (delete)
+    return True
+
+
+def invariant_pure(state):
+    return sum(1 for entry in state.log if entry) >= 0

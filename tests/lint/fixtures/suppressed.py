@@ -1,0 +1,16 @@
+"""Suppression-comment handling: targeted, bare, and mismatched."""
+
+import time
+
+
+def stamp():
+    return time.time()  # lint: ignore[DVS006]
+
+
+def stamp_bare():
+    return time.time()  # lint: ignore
+
+
+QUEUE = []  # lint: ignore[DVS010]
+MULTI = []  # lint: ignore[DVS006, DVS010]
+MISMATCH = []  # lint: ignore[DVS006]

@@ -1,0 +1,37 @@
+"""Seeded pass-1 violations (DVS001-DVS005).  Never imported; the lint
+tests parse this file and assert the expected rule ids fire."""
+
+from repro.ioa.automaton import TransitionAutomaton
+
+
+class BadAutomaton(TransitionAutomaton):
+    inputs = frozenset({"ping"})
+    outputs = frozenset({"pong"})
+    internals = frozenset({"tick"})
+
+    def pre_ping(self, state, p):  # expect DVS002: guards an input
+        return state.ready
+
+    def eff_ping(self, state, p):
+        state.count += 1
+
+    def eff_pong(self, state, p):  # expect DVS001: no pre_pong
+        state.count += 1
+
+    def pre_tick(self, state):
+        state.count += 1  # expect DVS004: assignment in a predicate
+        state.seen.add(1)  # expect DVS005: mutator in a predicate
+        return True
+
+    def eff_tick(self, state):
+        state.count += 1
+
+    def cand_tick(self, state):
+        state.pending.pop()  # expect DVS005: mutator in a generator
+        yield ("tick",)
+
+    def cand_ping(self, state):  # expect DVS003: cand_ for an input
+        yield ("ping", "p1")
+
+    def cand_zap(self, state):  # expect DVS003: no such action
+        yield ("zap",)

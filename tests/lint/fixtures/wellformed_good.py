@@ -1,0 +1,41 @@
+"""Clean pass-1 automata: the negative fixture for DVS001-DVS005."""
+
+from repro.ioa.automaton import TransitionAutomaton
+
+
+class GoodAutomaton(TransitionAutomaton):
+    inputs = frozenset({"ping"})
+    outputs = frozenset({"pong"})
+    internals = frozenset({"tick"})
+
+    def eff_ping(self, state, p):
+        state.inbox.append(p)
+
+    def pre_pong(self, state, p):
+        return p in state.inbox
+
+    def eff_pong(self, state, p):
+        state.inbox.remove(p)
+
+    def cand_pong(self, state):
+        for p in sorted(state.inbox):
+            yield ("pong", p)
+
+    def pre_tick(self, state):
+        return bool(state.inbox)
+
+    def eff_tick(self, state):
+        state.ticks += 1
+
+
+class DerivedAutomaton(GoodAutomaton):
+    """Overrides an effect but inherits its precondition: no DVS001."""
+
+    def eff_pong(self, state, p):
+        state.inbox.remove(p)
+        state.ticks += 1
+
+
+def invariant_inbox_bounded(state):
+    """A pure invariant: reads only."""
+    return len(state.inbox) <= state.ticks + 10

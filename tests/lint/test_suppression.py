@@ -1,0 +1,35 @@
+"""``# lint: ignore`` comment handling."""
+
+from repro.lint.engine import suppressions_for
+
+
+def test_targeted_bare_and_mismatched_suppressions(lint_fixture):
+    report = lint_fixture("suppressed.py")
+    # Only the mismatched line survives: its comment names DVS006 but
+    # the finding there is DVS010.
+    (finding,) = report.findings
+    assert finding.rule == "DVS010"
+    assert "MISMATCH" in finding.message
+    assert report.suppressed == 4
+
+
+def test_suppression_parsing():
+    table = suppressions_for([
+        "x = 1",
+        "y = 2  # lint: ignore",
+        "z = 3  # lint: ignore[DVS001]",
+        "w = 4  # lint: ignore[DVS001, DVS002]",
+        "v = 5  # lint:ignore[DVS003]",
+    ])
+    assert table == {
+        2: frozenset(),
+        3: frozenset({"DVS001"}),
+        4: frozenset({"DVS001", "DVS002"}),
+        5: frozenset({"DVS003"}),
+    }
+
+
+def test_suppressions_do_not_hide_other_lines(lint_fixture):
+    report = lint_fixture("aliasing_bad.py")
+    assert not report.suppressed
+    assert report.findings
