@@ -1,0 +1,154 @@
+"""E11 -- live-runtime benchmark: TO-broadcast over real loopback TCP.
+
+Measures totally-ordered broadcast throughput and delivery latency on
+an in-process :class:`~repro.runtime.cluster.RuntimeCluster` (every
+node a real socket endpoint on 127.0.0.1) for 3- and 5-node clusters,
+with the online safety monitor armed throughout.  Latencies are taken
+from the shared action log: for each request, the gap between its
+``bcast`` record and each replica's ``brcv`` record on the cluster's
+monotonic clock.
+
+Results are also written to ``BENCH_runtime.json`` at the repository
+root (CI archives it as an artifact).
+"""
+
+import json
+import os
+
+from repro.analysis import render_table
+from repro.apps.kv_store import KvReplica
+from repro.runtime.cluster import RuntimeCluster
+
+REQUESTS = 200
+WAIT = 60.0
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_runtime.json",
+)
+
+#: Filled by the per-size benchmarks, flushed by the report test (which
+#: runs last in file order).
+RESULTS = {}
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _run_workload(nodes, requests=REQUESTS):
+    pids = ["n{0}".format(i + 1) for i in range(nodes)]
+    cluster = RuntimeCluster(
+        pids,
+        app_factory=lambda node: KvReplica(node.to),
+        hb_interval=0.05,
+        hb_timeout=0.25,
+    )
+    with cluster:
+        cluster.wait_formation(timeout=WAIT)
+        t_start = cluster._call(lambda: cluster._clock.now)
+        for i in range(requests):
+            pid = pids[i % nodes]
+            cluster.call_app(
+                pid,
+                lambda app, i=i: app.put(
+                    "key-{0}".format(i % 32), "value-{0}".format(i)
+                ),
+            )
+        cluster.wait_until(
+            lambda: all(
+                cluster.app(pid).log_length >= requests for pid in pids
+            ),
+            timeout=WAIT,
+            what="{0} requests applied everywhere".format(requests),
+        )
+        t_end = cluster._call(lambda: cluster._clock.now)
+        cluster.check()
+        timed = cluster._call(cluster.log.timed_actions)
+
+    sends = {}
+    latencies = []
+    for time, action in timed:
+        if action.name == "bcast":
+            sends[(action.params[0], action.params[1])] = time
+        elif action.name == "brcv":
+            sent = sends.get((action.params[0], action.params[1]))
+            if sent is not None and time is not None:
+                latencies.append(time - sent)
+
+    elapsed = t_end - t_start
+    assert latencies, "action log must carry timed bcast/brcv pairs"
+    return {
+        "nodes": nodes,
+        "requests": requests,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_req_s": round(requests / elapsed, 1),
+        "deliveries": len(latencies),
+        "latency_ms": {
+            "mean": round(1e3 * sum(latencies) / len(latencies), 3),
+            "p50": round(1e3 * _percentile(latencies, 0.50), 3),
+            "p95": round(1e3 * _percentile(latencies, 0.95), 3),
+            "max": round(1e3 * max(latencies), 3),
+        },
+    }
+
+
+def _bench(benchmark, nodes):
+    # One full workload per measurement: cluster boot and teardown are
+    # part of neither the throughput window nor the latency samples,
+    # but they make repeats expensive -- hence pedantic single rounds.
+    result = benchmark.pedantic(
+        _run_workload, args=(nodes,), rounds=1, iterations=1
+    )
+    assert result["deliveries"] >= nodes * REQUESTS
+    RESULTS["{0}-node".format(nodes)] = result
+    return result
+
+
+def test_bench_runtime_to_3_nodes(benchmark):
+    result = _bench(benchmark, 3)
+    assert result["throughput_req_s"] > 0
+
+
+def test_bench_runtime_to_5_nodes(benchmark):
+    result = _bench(benchmark, 5)
+    assert result["throughput_req_s"] > 0
+
+
+def test_bench_runtime_report():
+    # Runs after the measurements (pytest preserves file order); if a
+    # subset was selected, regenerate what is missing.
+    for nodes in (3, 5):
+        RESULTS.setdefault(
+            "{0}-node".format(nodes), _run_workload(nodes)
+        )
+    payload = {
+        "benchmark": "runtime-to-throughput",
+        "transport": "tcp-loopback",
+        "monitor": "armed",
+        "results": {k: RESULTS[k] for k in sorted(RESULTS)},
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    rows = []
+    for key in sorted(RESULTS):
+        r = RESULTS[key]
+        rows.append([
+            key,
+            r["requests"],
+            r["throughput_req_s"],
+            r["latency_ms"]["p50"],
+            r["latency_ms"]["p95"],
+            r["latency_ms"]["max"],
+        ])
+    print()
+    print(
+        render_table(
+            ["cluster", "requests", "req/s", "p50 ms", "p95 ms", "max ms"],
+            rows,
+            title="E11: live TO broadcast on loopback TCP "
+                  "(monitor armed)",
+        )
+    )

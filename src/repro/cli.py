@@ -22,6 +22,12 @@ lint
     (pre_/eff_/cand_ contract, predicate purity), determinism
     (wall-clock/entropy escapes, unsorted set iteration, id()
     ordering) and cross-process aliasing.  Exits non-zero on findings.
+serve
+    Run the stack on real TCP sockets: by default an in-process
+    loopback cluster driving a replicated key-value workload (with a
+    mid-run crash and rejoin) under the online safety monitor; with
+    ``--pid``/``--bind``/``--peer``, one node of a real multi-process
+    deployment in the foreground.
 demo
     Run the partitioned-ledger scenario on the simulated cluster.
 """
@@ -299,6 +305,12 @@ def _cmd_lint(args):
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args):
+    from repro.runtime.serve import cmd_serve
+
+    return cmd_serve(args)
+
+
 def _cmd_demo(args):
     import examples.partitioned_ledger as demo  # noqa: F401 - optional
 
@@ -399,6 +411,36 @@ def build_parser():
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule registry and exit")
     lint.set_defaults(func=_cmd_lint)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the stack on real TCP sockets (loopback demo or one "
+             "node of a deployment)",
+    )
+    serve.add_argument("--processes", type=int, default=3,
+                       help="loopback mode: cluster size")
+    serve.add_argument("--requests", type=int, default=60,
+                       help="loopback mode: KV puts to order")
+    serve.add_argument("--no-kill", action="store_true",
+                       help="loopback mode: skip the mid-run crash/rejoin")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="loopback mode: bound on each wait")
+    serve.add_argument("--pid", default=None,
+                       help="single-node mode: this process id")
+    serve.add_argument("--bind", default=None,
+                       help="single-node mode: HOST:PORT to listen on")
+    serve.add_argument(
+        "--peer", action="append", default=[],
+        help="single-node mode: PID=HOST:PORT (repeatable)",
+    )
+    serve.add_argument("--duration", type=float, default=None,
+                       help="single-node mode: stop after this many "
+                            "seconds (default: run until Ctrl-C)")
+    serve.add_argument("--hb-interval", type=float, default=0.05,
+                       help="heartbeat beacon interval (seconds)")
+    serve.add_argument("--hb-timeout", type=float, default=None,
+                       help="peer liveness timeout (default 4x interval)")
+    serve.set_defaults(func=_cmd_serve)
 
     demo = sub.add_parser("demo", help="partitioned-ledger demo")
     demo.set_defaults(func=_cmd_demo)

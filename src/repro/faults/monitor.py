@@ -85,6 +85,22 @@ class SafetyMonitor:
         action_log.observers.append(self.on_action)
         return self
 
+    def restart_process(self, pid):
+        """Forget ``pid``'s per-incarnation state after an amnesiac restart.
+
+        The live runtime (:mod:`repro.runtime`) models a killed-and-
+        restarted node as a *fresh process that reuses the id*: it rejoins
+        with empty state and replays the confirmed total order from the
+        beginning.  System-wide facts (created views, broadcasts, the
+        common order, witnessed registrations) survive; the per-process
+        delivery sequence and current-view pointer reset, so the new
+        incarnation is checked as a fresh prefix of the same common order
+        instead of tripping the no-duplication rule against its previous
+        life.
+        """
+        self.deliveries.pop(pid, None)
+        self.current.pop(pid, None)
+
     # -- Event dispatch ----------------------------------------------------
 
     def on_action(self, time, action):

@@ -40,14 +40,19 @@ class DvsListener:
 class DvsLayer(VsListener):
     """One process's dynamic-primary filter, over a VS stack node."""
 
-    def __init__(self, stack, initial_view, listener=None, recorder=None):
+    def __init__(self, stack, initial_view, listener=None, recorder=None,
+                 member=None):
         self.stack = stack
         self.pid = stack.pid
         self.listener = listener or DvsListener()
         self.recorder = recorder
         stack.listener = self
 
-        is_member = self.pid in initial_view.set
+        # ``member=False`` builds a fresh joiner: no current primary even
+        # if the pid appears in ``initial_view`` (amnesiac restart).
+        is_member = (
+            self.pid in initial_view.set if member is None else member
+        )
         self.cur = initial_view if is_member else None
         self.client_cur = initial_view if is_member else None
         self.act = initial_view

@@ -27,14 +27,19 @@ class ToListener:
 class ToLayer(DvsListener):
     """One process's totally-ordered-broadcast engine, over a DVS layer."""
 
-    def __init__(self, dvs, initial_view, listener=None, recorder=None):
+    def __init__(self, dvs, initial_view, listener=None, recorder=None,
+                 member=None):
         self.dvs = dvs
         self.pid = dvs.pid
         self.listener = listener or ToListener()
         self.recorder = recorder
         dvs.listener = self
 
-        is_member = self.pid in initial_view.set
+        # ``member=False`` builds a fresh joiner (amnesiac restart): it
+        # has no current view until recovery establishes one.
+        is_member = (
+            self.pid in initial_view.set if member is None else member
+        )
         self.current = initial_view if is_member else None
         self.status = NORMAL
         self.content = {}

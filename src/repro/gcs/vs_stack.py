@@ -74,15 +74,25 @@ class _ViewOrderingState:
 
 
 class VsStackNode(Node):
-    """One process of the concrete view-synchronous stack."""
+    """One process of the concrete view-synchronous stack.
 
-    def __init__(self, pid, initial_view=None, listener=None, recorder=None):
+    ``member`` overrides the default membership test (``pid in
+    initial_view.set``): pass ``False`` to construct the process as a
+    fresh joiner that starts with no current view and learns views only
+    through installs -- the amnesiac-restart path of the live runtime
+    (:mod:`repro.runtime`).
+    """
+
+    def __init__(self, pid, initial_view=None, listener=None, recorder=None,
+                 member=None):
         super().__init__(pid)
         self.listener = listener or VsListener()
         self.recorder = recorder
         self.round_counter = 0
         self.active_round = None  # (round_id, members, replies) at leader
-        if initial_view is not None and pid in initial_view.set:
+        if member is None:
+            member = initial_view is not None and pid in initial_view.set
+        if member:
             self.view = initial_view
             self.max_epoch = initial_view.id.epoch
             self.ordering = _ViewOrderingState(initial_view)

@@ -18,7 +18,11 @@ Use from code or tests::
 or from the command line: ``python -m repro lint src/repro``.
 """
 
-from repro.lint.config import DEFAULT_EVENT_PATH_GLOBS, LintConfig
+from repro.lint.config import (
+    DEFAULT_EVENT_PATH_GLOBS,
+    DEFAULT_RULE_EXCLUDES,
+    LintConfig,
+)
 from repro.lint.engine import iter_python_files, lint_paths
 from repro.lint.report import (
     Finding,
@@ -29,6 +33,7 @@ from repro.lint.rules import PASSES, RULES, Rule, rules_for_pass
 
 __all__ = [
     "DEFAULT_EVENT_PATH_GLOBS",
+    "DEFAULT_RULE_EXCLUDES",
     "Finding",
     "JSON_SCHEMA_VERSION",
     "LintConfig",

@@ -6,6 +6,7 @@ point the linter at fixture trees.
 
 import fnmatch
 from dataclasses import dataclass, field
+from types import MappingProxyType
 
 from repro.lint.rules import RULES
 
@@ -22,6 +23,29 @@ DEFAULT_EVENT_PATH_GLOBS = (
     "*/gcs/*.py",
 )
 
+#: Per-package rule exclusions: rule id -> path globs where the rule is
+#: configured off.  Unlike a ``# lint: ignore`` pragma, which grants a
+#: single line an exception, an entry here states a *policy*: the rule's
+#: premise does not apply to that package.  The deliverable default is
+#: the determinism pair on the live runtime: DVS006 (wall clock) and
+#: DVS007 (entropy) exist to protect seed-replay of the *simulated*
+#: world, while :mod:`repro.runtime` is the real-transport edge whose
+#: whole point is wall-clock time and whose backoff jitter is
+#: legitimately unseeded (DESIGN.md §9).  Everything the runtime hosts
+#: (the gcs/dvs/to layers) stays fully in scope.
+DEFAULT_RULE_EXCLUDES = MappingProxyType({
+    "DVS006": ("*/repro/runtime/*.py",),
+    "DVS007": ("*/repro/runtime/*.py",),
+})
+
+
+def _match(path, pattern):
+    posix = str(path).replace("\\", "/")
+    return (
+        fnmatch.fnmatch(posix, pattern)
+        or fnmatch.fnmatch("/" + posix, pattern)
+    )
+
 
 @dataclass
 class LintConfig:
@@ -30,12 +54,18 @@ class LintConfig:
     ``select`` -- rule ids to enable (default: all registered rules).
     ``event_path_globs`` -- module patterns treated as ordering-
     sensitive event paths for DVS008.
+    ``rule_excludes`` -- mapping of rule id to path globs where that
+    rule is configured off (package-scoped policy, as opposed to the
+    line-scoped ``# lint: ignore`` pragma).
     """
 
     select: frozenset = field(
         default_factory=lambda: frozenset(RULES)
     )
     event_path_globs: tuple = DEFAULT_EVENT_PATH_GLOBS
+    rule_excludes: object = field(
+        default_factory=lambda: DEFAULT_RULE_EXCLUDES
+    )
 
     def __post_init__(self):
         self.select = frozenset(self.select)
@@ -44,15 +74,31 @@ class LintConfig:
             raise ValueError(
                 "unknown rule id(s): {0}".format(", ".join(sorted(unknown)))
             )
+        self.rule_excludes = MappingProxyType({
+            rule: tuple(globs)
+            for rule, globs in dict(self.rule_excludes).items()
+        })
+        unknown = set(self.rule_excludes) - set(RULES)
+        if unknown:
+            raise ValueError(
+                "rule_excludes names unknown rule id(s): {0}".format(
+                    ", ".join(sorted(unknown))
+                )
+            )
 
     def enabled(self, rule_id):
         return rule_id in self.select
 
+    def excluded(self, rule_id, path):
+        """Whether ``rule_id`` is configured off for the module at
+        ``path``."""
+        return any(
+            _match(path, pattern)
+            for pattern in self.rule_excludes.get(rule_id, ())
+        )
+
     def is_event_path(self, path):
         """Whether the whole module at ``path`` is an event path."""
-        posix = str(path).replace("\\", "/")
         return any(
-            fnmatch.fnmatch(posix, pattern) or
-            fnmatch.fnmatch("/" + posix, pattern)
-            for pattern in self.event_path_globs
+            _match(path, pattern) for pattern in self.event_path_globs
         )

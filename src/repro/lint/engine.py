@@ -111,6 +111,13 @@ def lint_paths(paths, config=None):
     findings, suppressed = _apply_suppressions(
         list(unique.values()), suppression_tables
     )
+    kept = [
+        finding for finding in findings
+        if not config.excluded(finding.rule, finding.path)
+    ]
     return Report(
-        findings, files_scanned=len(files), suppressed=suppressed
+        kept,
+        files_scanned=len(files),
+        suppressed=suppressed,
+        excluded=len(findings) - len(kept),
     )

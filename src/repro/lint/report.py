@@ -70,10 +70,11 @@ class Finding:
 class Report:
     """The outcome of one lint run over a set of files."""
 
-    def __init__(self, findings, files_scanned, suppressed=0):
+    def __init__(self, findings, files_scanned, suppressed=0, excluded=0):
         self.findings = sorted(findings, key=Finding.sort_key)
         self.files_scanned = files_scanned
         self.suppressed = suppressed
+        self.excluded = excluded
 
     @property
     def ok(self):
@@ -93,6 +94,7 @@ class Report:
             "ok": self.ok,
             "files_scanned": self.files_scanned,
             "suppressed": self.suppressed,
+            "excluded": self.excluded,
             "counts": self.counts(),
             "findings": [f.to_dict() for f in self.findings],
         }
@@ -122,5 +124,10 @@ class Report:
                 "{0} finding(s) suppressed by lint: ignore comments".format(
                     self.suppressed
                 )
+            )
+        if self.excluded:
+            lines.append(
+                "{0} finding(s) in packages where the rule is "
+                "configured off".format(self.excluded)
             )
         return "\n".join(lines)

@@ -1,0 +1,275 @@
+"""In-process loopback deployment: N live nodes on 127.0.0.1.
+
+:class:`RuntimeCluster` is the live analogue of
+:class:`repro.gcs.cluster.Cluster`: it spins up one
+:class:`~repro.runtime.node.RuntimeNode` per process on a private
+asyncio event loop (running in a background thread), all talking real
+TCP through OS-assigned loopback ports, sharing one
+:class:`~repro.gcs.recorder.ActionLog` with the online
+:class:`~repro.faults.monitor.SafetyMonitor` armed on it.  Tests,
+benchmarks and examples drive it synchronously; every call is
+marshalled onto the loop thread, and every wait carries a hard timeout
+so an asyncio hang fails loudly instead of stalling the suite.
+
+The monitor runs with ``fail_fast=False``: on live traffic a violation
+is recorded (``cluster.violations``) rather than raised from inside a
+socket callback, and :meth:`check` turns any accumulated violation or
+layer error into an assertion.
+
+``kill``/``restart`` model a crash plus an *amnesiac* rejoin: the
+restarted node is a fresh process reusing the id (new port, empty
+state); it re-enters through the membership protocol and rebuilds its
+application state by replaying the confirmed total order.
+"""
+
+import asyncio
+import threading
+import time
+
+from repro.core.viewids import ViewId
+from repro.core.views import View
+from repro.faults.monitor import SafetyMonitor
+from repro.gcs.recorder import ActionLog
+from repro.gcs.to_layer import NORMAL
+from repro.runtime.node import MonotonicClock, RuntimeNode
+
+#: Default hard bound (seconds) on any single marshalled call.
+CALL_TIMEOUT = 30.0
+
+
+class RuntimeCluster:
+    """A live N-node loopback cluster with a synchronous facade.
+
+    ``app_factory`` (optional) builds one application object per node,
+    e.g. ``lambda node: KvReplica(node.to)``; it is re-invoked on
+    restart so the fresh incarnation starts with fresh state.
+    """
+
+    def __init__(self, processes, host="127.0.0.1", monitor=True,
+                 app_factory=None, initial_view=None, hb_interval=0.05,
+                 hb_timeout=0.25, queue_limit=4096):
+        self.processes = sorted(processes)
+        if initial_view is None:
+            initial_view = View(ViewId(0, ""), frozenset(self.processes))
+        self.initial_view = initial_view
+        self._host = host
+        self._hb_interval = hb_interval
+        self._hb_timeout = hb_timeout
+        self._queue_limit = queue_limit
+        self._app_factory = app_factory
+        self._clock = None
+        self.log = ActionLog(clock=self._log_now)
+        self.monitor = None
+        if monitor:
+            if monitor is True:
+                monitor = SafetyMonitor(self.initial_view, fail_fast=False)
+            self.monitor = monitor.attach(self.log)
+        self._book = {}
+        self._nodes = {}
+        self._apps = {}
+        self._loop = None
+        self._thread = None
+
+    def _log_now(self):
+        return self._clock.now if self._clock is not None else None
+
+    # -- Lifecycle ---------------------------------------------------------
+
+    def start(self, timeout=CALL_TIMEOUT):
+        """Boot the loop thread and every node; returns self."""
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-runtime-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        self._call(self._start_all, timeout=timeout)
+        return self
+
+    async def _start_all(self):
+        self._clock = MonotonicClock(asyncio.get_event_loop())
+        for pid in self.processes:
+            node = self._build_node(pid, member=None)
+            self._nodes[pid] = node
+            await node.start(clock=self._clock)
+            if self._app_factory is not None:
+                self._apps[pid] = self._app_factory(node)
+
+    def _build_node(self, pid, member):
+        return RuntimeNode(
+            pid, self._book, initial_view=self.initial_view,
+            recorder=self.log, member=member, host=self._host,
+            hb_interval=self._hb_interval, hb_timeout=self._hb_timeout,
+            queue_limit=self._queue_limit,
+        )
+
+    def stop(self, timeout=CALL_TIMEOUT):
+        """Stop every node, then the loop and its thread."""
+        if self._loop is None:
+            return
+        self._call(self._stop_all, timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._loop.close()
+        self._loop = None
+
+    async def _stop_all(self):
+        for node in self._nodes.values():
+            await node.stop()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    # -- Marshalling -------------------------------------------------------
+
+    def _call(self, fn, *args, timeout=CALL_TIMEOUT):
+        """Run ``fn`` (sync or async) on the loop thread; hard timeout."""
+
+        async def runner():
+            result = fn(*args)
+            if asyncio.iscoroutine(result):
+                result = await result
+            return result
+
+        future = asyncio.run_coroutine_threadsafe(runner(), self._loop)
+        try:
+            return future.result(timeout)
+        except TimeoutError:
+            future.cancel()
+            raise
+
+    # -- Fault injection ---------------------------------------------------
+
+    def kill(self, pid, timeout=CALL_TIMEOUT):
+        """Crash ``pid``: close its sockets and discard the node."""
+        node = self._nodes.pop(pid)
+        self._apps.pop(pid, None)
+        self._call(node.stop, timeout=timeout)
+        return self
+
+    def restart(self, pid, timeout=CALL_TIMEOUT):
+        """Rejoin ``pid`` as a fresh amnesiac incarnation (new port)."""
+        if self.monitor is not None:
+            self.monitor.restart_process(pid)
+        self._call(self._restart_async, pid, timeout=timeout)
+        return self
+
+    async def _restart_async(self, pid):
+        node = self._build_node(pid, member=False)
+        self._nodes[pid] = node
+        await node.start(clock=self._clock)
+        if self._app_factory is not None:
+            self._apps[pid] = self._app_factory(node)
+
+    # -- Client surface ----------------------------------------------------
+
+    def bcast(self, pid, payload, timeout=CALL_TIMEOUT):
+        """Totally ordered broadcast through ``pid``'s TO layer."""
+        self._call(self._nodes[pid].to.bcast, payload, timeout=timeout)
+        return self
+
+    def call_node(self, pid, fn, timeout=CALL_TIMEOUT):
+        """Run ``fn(node)`` on the loop thread and return its result."""
+        return self._call(lambda: fn(self._nodes[pid]), timeout=timeout)
+
+    def call_app(self, pid, fn, timeout=CALL_TIMEOUT):
+        """Run ``fn(app)`` on the loop thread and return its result."""
+        return self._call(lambda: fn(self._apps[pid]), timeout=timeout)
+
+    def app(self, pid):
+        return self._apps[pid]
+
+    def live(self):
+        """Ids of the currently running nodes, sorted."""
+        return sorted(self._nodes)
+
+    # -- Waiting -----------------------------------------------------------
+
+    def wait_until(self, predicate, timeout=CALL_TIMEOUT, poll=0.02,
+                   what="condition"):
+        """Poll ``predicate`` (evaluated on the loop thread) until true.
+
+        Raises ``TimeoutError`` naming ``what`` on expiry -- the hang
+        guard every integration test leans on.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._call(predicate, timeout=timeout):
+                return self
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "timed out after {0:.1f}s waiting for {1}".format(
+                        timeout, what
+                    )
+                )
+            time.sleep(poll)
+
+    def wait_formation(self, pids=None, timeout=CALL_TIMEOUT):
+        """Wait until every expected node has established the primary
+        view consisting of exactly ``pids`` (default: all live nodes)."""
+        expected = frozenset(pids if pids is not None else self._nodes)
+
+        def formed():
+            for pid in expected:
+                node = self._nodes.get(pid)
+                if node is None:
+                    return False
+                to = node.to
+                if (
+                    to.status != NORMAL
+                    or to.current is None
+                    or to.current.set != expected
+                ):
+                    return False
+            return True
+
+        return self.wait_until(
+            formed, timeout=timeout,
+            what="primary view over {0}".format(sorted(expected)),
+        )
+
+    # -- Observation -------------------------------------------------------
+
+    def delivered(self, pid):
+        """All totally ordered deliveries recorded at ``pid`` -- across
+        every incarnation (the shared log never forgets)."""
+        return self._call(lambda: [
+            (a.params[0], a.params[1])
+            for a in self.log.actions
+            if a.name == "brcv" and a.params[2] == pid
+        ])
+
+    def delivery_count(self, pid):
+        """Deliveries of the *current* incarnation of ``pid``."""
+        return self.call_node(pid, lambda node: node.to.nextreport - 1)
+
+    @property
+    def violations(self):
+        return list(self.monitor.violations) if self.monitor else []
+
+    def errors(self):
+        """Layer exceptions recorded by any live node."""
+        return self._call(lambda: {
+            pid: list(node.errors)
+            for pid, node in sorted(self._nodes.items())
+            if node.errors
+        })
+
+    def check(self):
+        """Assert the run is clean: no monitor violations, no errors."""
+        errors = self.errors()
+        assert not errors, "layer errors: {0!r}".format(errors)
+        assert self.monitor is None or self.monitor.ok, (
+            "safety violations: "
+            + "; ".join(v.summary() for v in self.monitor.violations)
+        )
+        return self
+
+    def stats(self):
+        return self._call(lambda: {
+            pid: node.stats() for pid, node in sorted(self._nodes.items())
+        })

@@ -1,0 +1,106 @@
+"""Heartbeat-based connectivity estimation for the live runtime.
+
+The simulator gives every node a *connectivity oracle*: whenever the
+partition map changes, each alive node is told its exact component.  On
+real sockets no such oracle exists, so this module estimates it: every
+node beacons a :class:`~repro.runtime.codec.Heartbeat` to all peers on a
+fixed interval, treats a peer as connected while *any* traffic from it
+arrived within a timeout, and reports the resulting component through
+the same ``on_connectivity`` upcall the oracle used.
+
+The substitution is safe by construction (DESIGN.md §9): the stack's
+safety proofs never rely on the oracle being accurate or consistent
+across nodes -- connectivity reports only decide *when* membership
+rounds start, never what the layers do with the views that result.  Two
+nodes may transiently disagree about the component; the coordinator's
+round simply supersedes itself.  Accuracy buys liveness, not safety.
+
+A ``grace`` period delays the *first* report so a booting node hears its
+peers before concluding it is alone (otherwise every start would mint a
+useless singleton view).
+"""
+
+import asyncio
+
+
+class ConnectivityEstimator:
+    """Tracks peer liveness and reports component changes.
+
+    ``peers`` is a zero-argument callable returning the current iterable
+    of peer ids (so a deployment whose address book grows is picked up);
+    ``clock`` exposes ``.now`` (seconds, monotonic); ``send_heartbeats``
+    emits one beacon to every peer; ``notify`` receives the frozenset
+    component (always containing ``pid``) whenever the estimate changes.
+    """
+
+    def __init__(self, pid, peers, clock, send_heartbeats, notify,
+                 interval=0.05, timeout=None, grace=None):
+        self.pid = pid
+        self._peers = peers
+        self._clock = clock
+        self._send_heartbeats = send_heartbeats
+        self._notify = notify
+        self.interval = interval
+        self.timeout = 4 * interval if timeout is None else timeout
+        self.grace = self.timeout if grace is None else grace
+        self._last_heard = {}
+        self._reported = None
+        self._started_at = None
+        self._task = None
+
+    # -- Evidence ----------------------------------------------------------
+
+    def heard(self, src):
+        """Any frame from ``src`` proves it alive and reachable."""
+        self._last_heard[src] = self._clock.now
+
+    def component(self):
+        """The current estimate: self plus every recently-heard peer."""
+        horizon = self._clock.now - self.timeout
+        alive = {
+            peer
+            for peer in self._peers()
+            # A never-heard peer is never "alive" -- early on, any
+            # sentinel time would sit inside the horizon and fabricate
+            # connectivity to peers that were never there.
+            if self._last_heard.get(peer) is not None
+            and self._last_heard[peer] >= horizon
+        }
+        alive.add(self.pid)
+        return frozenset(alive)
+
+    # -- Reporting ---------------------------------------------------------
+
+    def poll(self):
+        """One tick: beacon, then report the component if it changed."""
+        if self._started_at is None:
+            self._started_at = self._clock.now
+        self._send_heartbeats()
+        if self._clock.now - self._started_at < self.grace:
+            return None
+        estimate = self.component()
+        if estimate != self._reported:
+            self._reported = estimate
+            self._notify(estimate)
+        return estimate
+
+    # -- Driving -----------------------------------------------------------
+
+    def start(self):
+        """Run :meth:`poll` forever on the current event loop."""
+
+        async def run():
+            while True:
+                self.poll()
+                await asyncio.sleep(self.interval)
+
+        self._task = asyncio.ensure_future(run())
+        return self
+
+    async def stop(self):
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass

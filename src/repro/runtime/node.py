@@ -1,0 +1,258 @@
+"""One live process of the stack: the VS→DVS→TO tower on real sockets.
+
+:class:`RuntimeNode` hosts the *unchanged* layer stack of
+:mod:`repro.gcs` -- the same :class:`~repro.gcs.vs_stack.VsStackNode`,
+:class:`~repro.gcs.dvs_layer.DvsLayer` and
+:class:`~repro.gcs.to_layer.ToLayer` objects the simulator drives --
+behind a duck-typed stand-in for :class:`repro.net.simulator.Network`:
+
+- ``send``/``broadcast`` go through per-peer reconnecting TCP links
+  (:class:`~repro.runtime.transport.PeerLink`);
+- ``set_timer``/``cancel_timer`` map onto ``loop.call_later``;
+- ``now`` reads a monotonic clock started at node boot;
+- ``on_connectivity`` is fed by the heartbeat estimator
+  (:class:`~repro.runtime.heartbeat.ConnectivityEstimator`) instead of
+  the simulator's oracle.
+
+Nothing above the transport knows it left the simulator.
+"""
+
+import asyncio
+
+from repro.gcs.dvs_layer import DvsLayer
+from repro.gcs.to_layer import ToLayer
+from repro.gcs.vs_stack import VsStackNode
+from repro.runtime.codec import CodecError, Heartbeat, Hello
+from repro.runtime.heartbeat import ConnectivityEstimator
+from repro.runtime.transport import Listener, PeerLink, QUEUE_LIMIT
+
+
+class MonotonicClock:
+    """Seconds since construction, read from the loop's monotonic clock
+    (the same clock ``call_later`` uses, so timers and ``now`` agree)."""
+
+    def __init__(self, loop):
+        self._loop = loop
+        self._t0 = loop.time()
+
+    @property
+    def now(self):
+        return self._loop.time() - self._t0
+
+
+class _RuntimeNet:
+    """The slice of the simulator ``Network`` interface a hosted
+    :class:`~repro.net.simulator.Node` actually calls."""
+
+    def __init__(self, node):
+        self._node = node
+
+    @property
+    def queue(self):
+        # ``Node.now`` reads ``net.queue.now``; the clock fills that shape.
+        return self._node.clock
+
+    def send(self, src, dst, msg):
+        self._node._transport_send(dst, msg)
+
+    def set_timer(self, pid, delay, tag):
+        return self._node._set_timer(delay, tag)
+
+    def cancel_timer(self, handle):
+        handle.cancel()
+
+
+class RuntimeNode:
+    """One process of the live deployment.
+
+    ``book`` maps process ids to ``(host, port)`` pairs and is read
+    *live*: the owner may mutate it (e.g. when a peer restarts on a new
+    port) and links pick the change up on their next connect attempt.
+    This node's own entry is written into the book when its listener
+    binds (``port=0`` requests an OS-assigned port).
+
+    ``member=False`` builds the whole tower in the fresh-joiner
+    configuration (see the gcs layers): the amnesiac-restart path.
+    """
+
+    def __init__(self, pid, book, initial_view, recorder=None,
+                 listener=None, member=None, host="127.0.0.1", port=0,
+                 hb_interval=0.05, hb_timeout=None, queue_limit=QUEUE_LIMIT):
+        self.pid = pid
+        self.book = book
+        self.initial_view = initial_view
+        self.log = recorder
+        self._host = host
+        self._port = port
+        self._hb_interval = hb_interval
+        self._hb_timeout = hb_timeout
+        self._queue_limit = queue_limit
+        self.clock = None
+        self.stack = VsStackNode(
+            pid, initial_view=initial_view, recorder=recorder,
+            member=member,
+        )
+        self.stack.net = _RuntimeNet(self)
+        self.dvs = DvsLayer(
+            self.stack, initial_view, recorder=recorder, member=member
+        )
+        self.to = ToLayer(
+            self.dvs, initial_view, listener=listener, recorder=recorder,
+            member=member,
+        )
+        #: Exceptions raised by the hosted layers while handling events;
+        #: they are recorded (not propagated) so one bad frame cannot
+        #: take the transport down, and tests assert the list is empty.
+        self.errors = []
+        self.dropped_unroutable = 0
+        self._links = {}
+        self._listener = None
+        self._estimator = None
+        self._timers = set()
+        self._loop = None
+        self._started = False
+        self._stopped = False
+
+    # -- Lifecycle ---------------------------------------------------------
+
+    async def start(self, clock=None):
+        """Bind the listener, publish the address, start links and
+        heartbeats.  Must run on the event loop that will own the node."""
+        loop = asyncio.get_event_loop()
+        self._loop = loop
+        self.clock = clock if clock is not None else MonotonicClock(loop)
+        self._listener = Listener(
+            self._on_frame, host=self._host, port=self._port,
+            on_error=self.errors.append,
+        )
+        await self._listener.start()
+        self.book[self.pid] = (self._host, self._listener.port)
+        for peer in sorted(self.book):
+            if peer != self.pid:
+                self._ensure_link(peer)
+        self._estimator = ConnectivityEstimator(
+            self.pid,
+            peers=self._peer_ids,
+            clock=self.clock,
+            send_heartbeats=self._send_heartbeats,
+            notify=self._on_component,
+            interval=self._hb_interval,
+            timeout=self._hb_timeout,
+        )
+        self._estimator.start()
+        self._started = True
+        self.stack.on_start()
+        return self
+
+    async def stop(self):
+        """Tear everything down; hosted layer state is left readable."""
+        self._stopped = True
+        if self._estimator is not None:
+            await self._estimator.stop()
+        for timer in list(self._timers):
+            timer.cancel()
+        self._timers.clear()
+        for link in self._links.values():
+            await link.close()
+        if self._listener is not None:
+            await self._listener.close()
+
+    @property
+    def port(self):
+        return self._listener.port if self._listener is not None else None
+
+    def _peer_ids(self):
+        return [p for p in sorted(self.book) if p != self.pid]
+
+    def _ensure_link(self, peer):
+        if peer not in self._links:
+            self._links[peer] = PeerLink(
+                self.pid, peer,
+                resolve=lambda p=peer: self.book[p],
+                queue_limit=self._queue_limit,
+            ).start()
+        return self._links[peer]
+
+    # -- Downcalls from the hosted stack -----------------------------------
+
+    def _transport_send(self, dst, msg):
+        if self._stopped:
+            return
+        if dst == self.pid:
+            # Local loopback: dispatch asynchronously so a self-send
+            # behaves like any other message (never reentrant).
+            self._loop.call_soon(self._local_deliver, msg)
+            return
+        if dst not in self.book:
+            self.dropped_unroutable += 1
+            return
+        try:
+            self._ensure_link(dst).send(msg)
+        except CodecError as exc:
+            self.errors.append(exc)
+
+    def _local_deliver(self, msg):
+        if not self._stopped:
+            self._dispatch(self.pid, msg)
+
+    def _set_timer(self, delay, tag):
+        handle = self._loop.call_later(
+            delay, lambda: self._fire_timer(handle, tag)
+        )
+        self._timers.add(handle)
+        return handle
+
+    def _fire_timer(self, handle, tag):
+        self._timers.discard(handle)
+        if not self._stopped:
+            try:
+                self.stack.on_timer(tag)
+            except Exception as exc:
+                self.errors.append(exc)
+
+    def _send_heartbeats(self):
+        for peer in self._peer_ids():
+            self._ensure_link(peer).send(Heartbeat())
+
+    # -- Upcalls from transport and estimator ------------------------------
+
+    def _on_frame(self, src, msg):
+        if self._stopped:
+            return
+        self._estimator.heard(src)
+        if isinstance(msg, (Hello, Heartbeat)):
+            return
+        self._dispatch(src, msg)
+
+    def _dispatch(self, src, msg):
+        try:
+            self.stack.on_message(src, msg)
+        except Exception as exc:
+            self.errors.append(exc)
+
+    def _on_component(self, component):
+        if self._stopped:
+            return
+        try:
+            self.stack.on_connectivity(component)
+        except Exception as exc:
+            self.errors.append(exc)
+
+    # -- Observation -------------------------------------------------------
+
+    def stats(self):
+        links = {
+            peer: {
+                "connects": link.connects,
+                "sent": link.sent,
+                "dropped": link.dropped,
+            }
+            for peer, link in sorted(self._links.items())
+        }
+        return {
+            "pid": self.pid,
+            "port": self.port,
+            "errors": len(self.errors),
+            "dropped_unroutable": self.dropped_unroutable,
+            "links": links,
+        }

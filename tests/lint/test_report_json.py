@@ -10,6 +10,7 @@ REQUIRED_TOP_LEVEL = {
     "ok": bool,
     "files_scanned": int,
     "suppressed": int,
+    "excluded": int,
     "counts": dict,
     "findings": list,
 }

@@ -1,0 +1,86 @@
+"""Per-package rule exclusion (``LintConfig.rule_excludes``)."""
+
+import pytest
+
+from repro.lint import (
+    DEFAULT_RULE_EXCLUDES,
+    LintConfig,
+    lint_paths,
+)
+from tests.lint.conftest import fixture_path
+
+
+def _config(excludes):
+    return LintConfig(rule_excludes=excludes)
+
+
+def test_default_excludes_cover_runtime_determinism():
+    # The shipped policy: the live-transport package is exempt from the
+    # wall-clock and entropy rules, and from nothing else.
+    assert set(DEFAULT_RULE_EXCLUDES) == {"DVS006", "DVS007"}
+    config = LintConfig()
+    assert config.excluded("DVS006", "src/repro/runtime/serve.py")
+    assert config.excluded("DVS007", "src/repro/runtime/transport.py")
+    # Scoped to the package: the same rules still apply elsewhere, and
+    # other rules still apply inside the package.
+    assert not config.excluded("DVS006", "src/repro/gcs/to_layer.py")
+    assert not config.excluded("DVS010", "src/repro/runtime/codec.py")
+
+
+def test_exclusion_drops_findings_and_counts_them(lint_fixture):
+    baseline = lint_fixture("determinism_bad.py")
+    wallclock = [f for f in baseline.findings if f.rule == "DVS006"]
+    assert wallclock, "fixture must trigger DVS006"
+
+    report = lint_paths(
+        [fixture_path("determinism_bad.py")],
+        config=_config({"DVS006": ("*/fixtures/*.py",)}),
+    )
+    assert not any(f.rule == "DVS006" for f in report.findings)
+    assert report.excluded == len(wallclock)
+    # Non-excluded rules are untouched.
+    assert (
+        len([f for f in report.findings if f.rule == "DVS007"])
+        == len([f for f in baseline.findings if f.rule == "DVS007"])
+    )
+
+
+def test_exclusion_is_path_scoped(lint_fixture):
+    report = lint_paths(
+        [fixture_path("determinism_bad.py")],
+        config=_config({"DVS006": ("*/some/other/package/*.py",)}),
+    )
+    baseline = lint_fixture("determinism_bad.py")
+    assert (
+        len([f for f in report.findings if f.rule == "DVS006"])
+        == len([f for f in baseline.findings if f.rule == "DVS006"])
+    )
+    assert report.excluded == 0
+
+
+def test_excluded_count_surfaces_in_renderings(lint_fixture):
+    report = lint_paths(
+        [fixture_path("determinism_bad.py")],
+        config=_config({
+            "DVS006": ("*/fixtures/*.py",),
+            "DVS007": ("*/fixtures/*.py",),
+        }),
+    )
+    assert report.excluded > 0
+    assert "configured off" in report.to_text()
+    assert report.to_dict()["excluded"] == report.excluded
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown rule id"):
+        _config({"DVS999": ("*/x.py",)})
+
+
+def test_excludes_differ_from_pragmas(lint_fixture):
+    # An exclusion is a package policy, not a line suppression: the
+    # suppressed counter is unaffected.
+    report = lint_paths(
+        [fixture_path("determinism_bad.py")],
+        config=_config({"DVS006": ("*/fixtures/*.py",)}),
+    )
+    assert report.suppressed == 0

@@ -1,0 +1,205 @@
+"""Transport behaviour on real loopback sockets.
+
+Each test runs its own short-lived event loop via ``asyncio.run``; every
+wait is bounded by ``asyncio.wait_for`` so a regression hangs for
+seconds, not forever.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.codec import Heartbeat, Hello, encode_frame
+from repro.runtime.transport import Listener, PeerLink
+
+WAIT = 5.0
+
+
+async def poll_until(predicate, timeout=WAIT, interval=0.01):
+    async def loop():
+        while not predicate():
+            await asyncio.sleep(interval)
+
+    await asyncio.wait_for(loop(), timeout)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 30.0))
+
+
+def collector():
+    frames = []
+
+    def on_frame(src, msg):
+        frames.append((src, msg))
+
+    return frames, on_frame
+
+
+def test_link_delivers_in_order_after_handshake():
+    async def scenario():
+        frames, on_frame = collector()
+        listener = await Listener(on_frame).start()
+        link = PeerLink(
+            "a", "b", resolve=lambda: ("127.0.0.1", listener.port)
+        ).start()
+        for i in range(20):
+            link.send(Heartbeat() if i % 5 == 0 else ("m", i))
+        await poll_until(lambda: len(frames) >= 21)  # +1 for the Hello
+        assert frames[0] == ("a", Hello("a"))
+        payloads = [m for _, m in frames[1:] if not isinstance(m, Heartbeat)]
+        assert payloads == [("m", i) for i in range(20) if i % 5 != 0]
+        assert all(src == "a" for src, _ in frames)
+        await link.close()
+        await listener.close()
+
+    run(scenario())
+
+
+def test_link_queues_while_peer_down_and_flushes_on_connect():
+    async def scenario():
+        frames, on_frame = collector()
+        book = {}
+        link = PeerLink(
+            "a", "b", resolve=lambda: book["b"], retry_min=0.01
+        ).start()
+        for i in range(5):
+            link.send(("early", i))
+        await asyncio.sleep(0.05)  # retrying against a missing entry
+        listener = await Listener(on_frame).start()
+        book["b"] = ("127.0.0.1", listener.port)
+        await poll_until(lambda: len(frames) >= 6)
+        assert [m for _, m in frames[1:]] == [("early", i) for i in range(5)]
+        await link.close()
+        await listener.close()
+
+    run(scenario())
+
+
+def test_link_redials_new_port_after_peer_restart():
+    async def scenario():
+        frames, on_frame = collector()
+        book = {}
+        first = await Listener(on_frame).start()
+        book["b"] = ("127.0.0.1", first.port)
+        link = PeerLink(
+            "a", "b", resolve=lambda: book["b"], retry_min=0.01
+        ).start()
+        link.send("one")
+        await poll_until(lambda: ("a", "one") in frames)
+        # Peer "restarts": the old listener dies (dropping established
+        # connections), a new one binds elsewhere, the book is updated.
+        await first.close()
+        second = await Listener(on_frame).start()
+        assert second.port != first.port
+        book["b"] = ("127.0.0.1", second.port)
+        sent = ["two-{0}".format(i) for i in range(50)]
+        for msg in sent:
+            link.send(msg)
+            await asyncio.sleep(0.005)
+        await poll_until(
+            lambda: any(m == sent[-1] for _, m in frames)
+        )
+        assert link.connects >= 2
+        # Fair-lossy: in-flight frames at the switchover may be lost,
+        # but delivery resumes and stays in order.
+        delivered = [m for _, m in frames if m in sent]
+        assert delivered == sorted(delivered, key=sent.index)
+        await link.close()
+        await second.close()
+
+    run(scenario())
+
+
+def test_full_queue_drops_oldest():
+    async def scenario():
+        link = PeerLink(
+            "a", "b", resolve=lambda: (_ for _ in ()).throw(KeyError("b")),
+            queue_limit=3, retry_min=0.01,
+        ).start()
+        for i in range(10):
+            link.send(("m", i))
+        assert link.dropped == 7
+        assert link._queue.qsize() == 3
+        await link.close()
+
+    run(scenario())
+
+
+@pytest.mark.parametrize(
+    "first_frames",
+    [
+        [b"\x00\x00\x00\x04junk"],  # undecodable body
+        [encode_frame(("a", Heartbeat()))],  # skipped the handshake
+        [encode_frame(("a", Hello("someone-else")))],  # pid mismatch
+        [encode_frame("not-an-envelope")],  # not a (src, msg) tuple
+        [
+            encode_frame(("a", Hello("a"))),
+            encode_frame(("b", Heartbeat())),  # sender switched mid-stream
+        ],
+    ],
+    ids=["garbage", "no-hello", "pid-mismatch", "bad-envelope", "switch"],
+)
+def test_protocol_violations_drop_connection_only(first_frames):
+    async def scenario():
+        frames, on_frame = collector()
+        listener = await Listener(on_frame).start()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", listener.port
+        )
+        for frame in first_frames:
+            writer.write(frame)
+        await writer.drain()
+        await poll_until(lambda: listener.rejected == 1)
+        # The violator is disconnected...
+        assert await asyncio.wait_for(reader.read(), WAIT) == b""
+        writer.close()
+        # ...but the listener still serves well-behaved peers.
+        link = PeerLink(
+            "c", "b", resolve=lambda: ("127.0.0.1", listener.port)
+        ).start()
+        link.send("fine")
+        await poll_until(lambda: ("c", "fine") in frames)
+        await link.close()
+        await listener.close()
+
+    run(scenario())
+
+
+def test_callback_exception_reported_and_contained():
+    async def scenario():
+        errors = []
+
+        def explode(src, msg):
+            raise RuntimeError("handler bug")
+
+        listener = await Listener(explode, on_error=errors.append).start()
+        link = PeerLink(
+            "a", "b", resolve=lambda: ("127.0.0.1", listener.port)
+        ).start()
+        link.send("boom")
+        await poll_until(lambda: len(errors) >= 1)
+        assert isinstance(errors[0], RuntimeError)
+        await link.close()
+        await listener.close()
+
+    run(scenario())
+
+
+def test_listener_close_drops_established_connections():
+    async def scenario():
+        frames, on_frame = collector()
+        listener = await Listener(on_frame).start()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", listener.port
+        )
+        writer.write(encode_frame(("a", Hello("a"))))
+        await writer.drain()
+        await poll_until(lambda: len(frames) == 1)
+        await listener.close()
+        # The dialer observes EOF -- this is what lets a PeerLink notice
+        # a dead peer and redial instead of writing into a zombie socket.
+        assert await asyncio.wait_for(reader.read(), WAIT) == b""
+        writer.close()
+
+    run(scenario())

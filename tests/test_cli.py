@@ -47,6 +47,46 @@ class TestCommands:
         assert "Isis" in out
 
 
+class TestServe:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.processes == 3
+        assert args.requests == 60
+        assert args.pid is None
+
+    def test_loopback_run_with_crash(self, capsys):
+        code = main(["serve", "--requests", "20", "--timeout", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "primary view formed" in out
+        assert "killing n3" in out
+        assert "rejoined and caught up" in out
+        assert "no violations" in out
+
+    def test_loopback_no_kill(self, capsys):
+        code = main(
+            ["serve", "--requests", "9", "--no-kill", "--timeout", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "killing" not in out
+        assert "no violations" in out
+
+    def test_single_node_requires_bind(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--pid", "n1"])
+
+    def test_single_node_runs_for_duration(self, capsys):
+        code = main(
+            ["serve", "--pid", "n1", "--bind", "127.0.0.1:0",
+             "--duration", "0.3", "--hb-interval", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n1 listening on 127.0.0.1:" in out
+        assert "stopped" in out
+
+
 class TestChaos:
     def test_healthy_run_is_clean(self, capsys):
         code = main(
