@@ -290,15 +290,23 @@ def _cmd_lint(args):
         ))
     paths = args.paths or ["src/repro"]
     report = lint_paths(paths, config=config)
-    rendered = (
-        report.to_json() if args.format == "json" else report.to_text()
-    )
+    if args.baseline:
+        import json as _json
+
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            report = report.apply_baseline(_json.load(handle))
+    if args.format == "json":
+        rendered = report.to_json()
+    elif args.format == "sarif":
+        rendered = report.to_sarif()
+    else:
+        rendered = report.to_text()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
-        if args.format == "json":
+        if args.format in ("json", "sarif"):
             # Keep the human-readable summary on stdout even when the
-            # JSON artifact goes to a file (CI does exactly this).
+            # machine-readable artifact goes to a file (CI does this).
             print(report.to_text())
     else:
         print(rendered)
@@ -393,16 +401,21 @@ def build_parser():
     lint = sub.add_parser(
         "lint",
         help="static analysis: automaton well-formedness, determinism, "
-             "cross-process aliasing",
+             "cross-process aliasing, thread-boundary races, effect "
+             "alias escapes, wire-schema drift",
     )
     lint.add_argument(
         "paths", nargs="*",
         help="files or directories to lint (default: src/repro)",
     )
-    lint.add_argument("--format", choices=["text", "json"],
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
                       default="text")
     lint.add_argument("--output", default=None,
                       help="write the report to a file")
+    lint.add_argument(
+        "--baseline", default=None, metavar="REPORT_JSON",
+        help="a previous JSON report; fail only on findings not in it",
+    )
     lint.add_argument(
         "--select", action="append", default=[],
         help="comma-separated rule ids to enable (repeatable; "

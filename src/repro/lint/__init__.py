@@ -1,13 +1,20 @@
-"""``repro lint``: AST-based static analysis for the simulation stack.
+"""``repro lint``: static analysis for the simulation stack and the
+live runtime, built on a per-function IR and a project-wide call graph.
 
-Three passes guard the properties the paper's formalism rests on:
+Six passes guard the properties the paper's formalism rests on:
 
 1. *well-formedness* -- faithful precondition/effect automata
    (rules DVS001-DVS005);
 2. *determinism* -- bit-reproducible simulation from a seed
    (rules DVS006-DVS009);
 3. *aliasing* -- no hidden state shared across simulated processes
-   (rules DVS010-DVS011).
+   (rules DVS010-DVS011);
+4. *races* -- interprocedural thread-boundary analysis of the live
+   runtime's sync-facade/event-loop split (rules DVS012-DVS013);
+5. *escape* -- transition effects never leak aliases of mutable layer
+   state across a layer boundary (rule DVS014);
+6. *wire* -- the codec's registry and pinned schema cover every stack
+   message dataclass, field for field (rule DVS015).
 
 Use from code or tests::
 
@@ -15,15 +22,21 @@ Use from code or tests::
     report = lint_paths(["src/repro"])
     assert report.ok, report.to_text()
 
-or from the command line: ``python -m repro lint src/repro``.
+or from the command line: ``python -m repro lint src/repro``
+(``--format sarif`` and ``--baseline report.json`` are supported).
 """
 
+from repro.lint.callgraph import ProjectModel, build_project
 from repro.lint.config import (
+    DEFAULT_CODEC_GLOBS,
     DEFAULT_EVENT_PATH_GLOBS,
     DEFAULT_RULE_EXCLUDES,
+    DEFAULT_RUNTIME_GLOBS,
+    DEFAULT_WIRE_MESSAGE_GLOBS,
     LintConfig,
 )
 from repro.lint.engine import iter_python_files, lint_paths
+from repro.lint.ir import CFG, FunctionIR, build_cfg
 from repro.lint.report import (
     Finding,
     JSON_SCHEMA_VERSION,
@@ -32,15 +45,23 @@ from repro.lint.report import (
 from repro.lint.rules import PASSES, RULES, Rule, rules_for_pass
 
 __all__ = [
+    "CFG",
+    "DEFAULT_CODEC_GLOBS",
     "DEFAULT_EVENT_PATH_GLOBS",
     "DEFAULT_RULE_EXCLUDES",
+    "DEFAULT_RUNTIME_GLOBS",
+    "DEFAULT_WIRE_MESSAGE_GLOBS",
     "Finding",
+    "FunctionIR",
     "JSON_SCHEMA_VERSION",
     "LintConfig",
     "PASSES",
+    "ProjectModel",
     "RULES",
     "Report",
     "Rule",
+    "build_cfg",
+    "build_project",
     "iter_python_files",
     "lint_paths",
     "rules_for_pass",

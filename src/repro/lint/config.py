@@ -26,17 +26,35 @@ DEFAULT_EVENT_PATH_GLOBS = (
 #: Per-package rule exclusions: rule id -> path globs where the rule is
 #: configured off.  Unlike a ``# lint: ignore`` pragma, which grants a
 #: single line an exception, an entry here states a *policy*: the rule's
-#: premise does not apply to that package.  The deliverable default is
-#: the determinism pair on the live runtime: DVS006 (wall clock) and
-#: DVS007 (entropy) exist to protect seed-replay of the *simulated*
-#: world, while :mod:`repro.runtime` is the real-transport edge whose
-#: whole point is wall-clock time and whose backoff jitter is
-#: legitimately unseeded (DESIGN.md §9).  Everything the runtime hosts
-#: (the gcs/dvs/to layers) stays fully in scope.
-DEFAULT_RULE_EXCLUDES = MappingProxyType({
-    "DVS006": ("*/repro/runtime/*.py",),
-    "DVS007": ("*/repro/runtime/*.py",),
-})
+#: premise does not apply to that package.  The default is now empty:
+#: the former blanket exclusion of DVS006/DVS007 for ``repro/runtime``
+#: was replaced by line-scoped pragmas at the handful of sites that
+#: legitimately touch the wall clock or unseeded entropy, so every rule
+#: applies everywhere unless a specific line argues otherwise.
+DEFAULT_RULE_EXCLUDES = MappingProxyType({})
+
+#: Modules subject to the thread-boundary race analysis (DVS012/013):
+#: the live runtime package, where a synchronous facade and a
+#: background event loop share one process.
+DEFAULT_RUNTIME_GLOBS = (
+    "*/repro/runtime/*.py",
+)
+
+#: The module defining the wire codec registry (``WIRE_TYPES`` /
+#: ``WIRE_SCHEMA``) that DVS015 checks for drift.
+DEFAULT_CODEC_GLOBS = (
+    "*/repro/runtime/codec.py",
+)
+
+#: Modules whose frozen top-level dataclasses are stack messages that
+#: must be covered by the codec registry (DVS015 coverage direction).
+DEFAULT_WIRE_MESSAGE_GLOBS = (
+    "*/repro/core/messages.py",
+    "*/repro/core/views.py",
+    "*/repro/core/viewids.py",
+    "*/repro/gcs/messages.py",
+    "*/repro/to/summaries.py",
+)
 
 
 def _match(path, pattern):
@@ -57,6 +75,12 @@ class LintConfig:
     ``rule_excludes`` -- mapping of rule id to path globs where that
     rule is configured off (package-scoped policy, as opposed to the
     line-scoped ``# lint: ignore`` pragma).
+    ``runtime_globs`` -- modules analysed by the thread-boundary race
+    pass (DVS012/013).
+    ``codec_globs`` -- the module(s) holding the wire registry checked
+    by DVS015.
+    ``wire_message_globs`` -- modules whose frozen dataclasses must be
+    covered by the wire registry.
     """
 
     select: frozenset = field(
@@ -66,9 +90,15 @@ class LintConfig:
     rule_excludes: object = field(
         default_factory=lambda: DEFAULT_RULE_EXCLUDES
     )
+    runtime_globs: tuple = DEFAULT_RUNTIME_GLOBS
+    codec_globs: tuple = DEFAULT_CODEC_GLOBS
+    wire_message_globs: tuple = DEFAULT_WIRE_MESSAGE_GLOBS
 
     def __post_init__(self):
         self.select = frozenset(self.select)
+        self.runtime_globs = tuple(self.runtime_globs)
+        self.codec_globs = tuple(self.codec_globs)
+        self.wire_message_globs = tuple(self.wire_message_globs)
         unknown = self.select - set(RULES)
         if unknown:
             raise ValueError(
@@ -101,4 +131,25 @@ class LintConfig:
         """Whether the whole module at ``path`` is an event path."""
         return any(
             _match(path, pattern) for pattern in self.event_path_globs
+        )
+
+    def is_runtime_path(self, path):
+        """Whether the module at ``path`` is in scope for the
+        thread-boundary race analysis."""
+        return any(
+            _match(path, pattern) for pattern in self.runtime_globs
+        )
+
+    def is_codec_path(self, path):
+        """Whether the module at ``path`` hosts the wire registry."""
+        return any(
+            _match(path, pattern) for pattern in self.codec_globs
+        )
+
+    def is_wire_message_path(self, path):
+        """Whether the module at ``path`` defines stack messages that
+        the wire registry must cover."""
+        return any(
+            _match(path, pattern)
+            for pattern in self.wire_message_globs
         )

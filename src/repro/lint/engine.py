@@ -11,12 +11,20 @@ visible at its site.
 import os
 import re
 
-from repro.lint import aliasing, determinism, wellformed
+from repro.lint import (
+    aliasing,
+    determinism,
+    escape,
+    races,
+    wellformed,
+    wire,
+)
+from repro.lint.callgraph import build_project
 from repro.lint.config import LintConfig
 from repro.lint.model import SourceModel
 from repro.lint.report import Report
 
-_PASSES = (wellformed, determinism, aliasing)
+_PASSES = (wellformed, determinism, aliasing, races, escape, wire)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
@@ -115,9 +123,21 @@ def lint_paths(paths, config=None):
         finding for finding in findings
         if not config.excluded(finding.rule, finding.path)
     ]
+    # The interprocedural passes build (and cache) the project model on
+    # the shared SourceModel; surface its size so reports identify the
+    # analysis backend that produced them.
+    project = build_project(model)
+    engine = {
+        "name": "ir-dataflow",
+        "passes": [lint_pass.__name__.rpartition(".")[2]
+                   for lint_pass in _PASSES],
+        "ir_functions": project.function_count(),
+        "callgraph_edges": project.edges,
+    }
     return Report(
         kept,
         files_scanned=len(files),
         suppressed=suppressed,
         excluded=len(findings) - len(kept),
+        engine=engine,
     )

@@ -1,0 +1,240 @@
+"""Pass 5: effect alias escapes (DVS014).
+
+The locality discipline of the paper's automata -- an ``eff_`` may
+mutate only the state of the automaton it belongs to -- is enforced at
+runtime by :class:`repro.gcs.effect_check.EffectIsolationChecker`,
+which fingerprints every *other* process's layer state around each
+dispatch.  That catches a violation only when a test actually drives
+the aliased path.  This pass is the static half: it flags the way such
+aliases are created in the first place -- a transition handler handing
+a *mutable* piece of its own state to something that will retain it on
+the far side of a layer or process boundary:
+
+- constructing a message/action with a mutable state attribute as a
+  field (``InfoMsg(state.act, state.amb)`` instead of
+  ``InfoMsg(state.act, frozenset(state.amb))``) -- the message is
+  delivered to other automatons, so every holder now shares the set;
+- calling a method on a *foreign* object (a non-state parameter of the
+  handler) with a mutable state attribute as argument;
+- storing a mutable state attribute into a foreign object's attribute.
+
+Mutability is judged per class: an attribute counts as mutable when
+the class (or an ancestor) initialises it with a container literal,
+comprehension, or a known mutable constructor (``list``, ``dict``,
+``set``, ``Table``...), either by direct assignment or as a keyword to
+``super().__init__``.  Wrapping the attribute in a copying call
+(``frozenset(state.amb)``, ``list(state.order)``, ``sorted(...)``)
+never matches -- only the bare alias does -- so the fix the rule hints
+at is also exactly what silences it.
+"""
+
+import ast
+
+from repro.lint.callgraph import build_project
+from repro.lint.model import HANDLER_PREFIXES
+from repro.lint.report import Finding
+
+#: Constructors producing a fresh mutable container.
+MUTABLE_CTORS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter", "Table",
+})
+
+#: Handler prefixes whose results cross the layer boundary.
+_ESCAPE_PREFIXES = ("eff_", "cand_")
+
+#: Module-level action constructors: their parameters become action
+#: payloads delivered to every participating automaton.
+_ACTION_CTORS = frozenset({"act", "make_action", "Action"})
+
+
+def _is_mutable_init(node):
+    """Whether ``node`` evaluates to a fresh mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in MUTABLE_CTORS
+    if isinstance(node, ast.IfExp):
+        return _is_mutable_init(node.body) or _is_mutable_init(node.orelse)
+    return False
+
+
+def _is_super_init(node):
+    """``super().__init__(...)`` call?"""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "__init__"
+        and isinstance(node.func.value, ast.Call)
+        and isinstance(node.func.value.func, ast.Name)
+        and node.func.value.func.id == "super"
+    )
+
+
+class _MutabilityIndex:
+    """Per-class set of mutably-initialised attribute names."""
+
+    def __init__(self, model):
+        self.model = model
+        self._cache = {}
+
+    def _own_mutable_attrs(self, info):
+        attrs = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and _is_mutable_init(node.value)
+                    ):
+                        attrs.add(target.attr)
+            elif _is_super_init(node):
+                for kw in node.keywords:
+                    if kw.arg is not None and _is_mutable_init(kw.value):
+                        attrs.add(kw.arg)
+        return attrs
+
+    def mutable_attrs(self, class_name):
+        if class_name in self._cache:
+            return self._cache[class_name]
+        info = self.model.class_index.get(class_name)
+        attrs = set()
+        if info is not None:
+            for ancestor in self.model.mro_chain(info):
+                attrs |= self._own_mutable_attrs(ancestor)
+        self._cache[class_name] = frozenset(attrs)
+        return self._cache[class_name]
+
+
+def _state_classes(project, class_name):
+    """The class(es) of an automaton's transition state, inferred from
+    ``initial_state``'s returns."""
+    cls = project.classes.get(class_name)
+    if cls is None:
+        return frozenset()
+    ir = cls.methods.get("initial_state")
+    if ir is None:
+        return frozenset()
+    return project.return_classes(ir)
+
+
+def _root_attr(node):
+    """``(root, attr)`` for a bare ``root.attr`` expression."""
+    if isinstance(node, ast.Attribute) and isinstance(
+        node.value, ast.Name
+    ):
+        return node.value.id, node.attr
+    return None, None
+
+
+def run_pass(model, config):
+    """All pass-5 findings over the model."""
+    if not config.enabled("DVS014"):
+        return []
+    project = build_project(model)
+    index = _MutabilityIndex(model)
+    findings = []
+
+    for module in model.modules:
+        for info in module.classes:
+            if not model.is_automaton(info):
+                continue
+            state_mutable = frozenset().union(*(
+                index.mutable_attrs(name)
+                for name in _state_classes(project, info.name)
+            )) if _state_classes(project, info.name) else frozenset()
+            self_mutable = index.mutable_attrs(info.name)
+            for name, handler in sorted(info.handlers.items()):
+                if not name.startswith(_ESCAPE_PREFIXES):
+                    continue
+                findings.extend(_check_handler(
+                    model, module, info, handler,
+                    state_mutable, self_mutable,
+                ))
+    return findings
+
+
+def _check_handler(model, module, info, handler, state_mutable,
+                   self_mutable):
+    params = [arg.arg for arg in handler.args.args]
+    state_param = params[1] if len(params) > 1 else None
+    foreign = {
+        p for p in params[2:]
+    }
+    findings = []
+
+    def mutable_alias(node):
+        """``(root, attr)`` when ``node`` is a bare mutable state
+        attribute, else ``(None, None)``."""
+        root, attr = _root_attr(node)
+        if root == "self" and attr in self_mutable:
+            return root, attr
+        if (
+            root is not None and root == state_param
+            and attr in state_mutable
+        ):
+            return root, attr
+        return None, None
+
+    def flag(node, root, attr, how):
+        findings.append(Finding(
+            rule="DVS014", path=module.path, line=node.lineno,
+            col=node.col_offset,
+            message=(
+                "{0}.{1} leaks an alias of mutable state "
+                "{2}.{3} {4}; hand over a copy "
+                "(frozenset/list/dict) instead".format(
+                    info.name, handler.name, root, attr, how
+                )
+            ),
+        ))
+
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Call):
+            target = _describe_escape_callee(model, node, foreign)
+            if target is None:
+                continue
+            for arg in list(node.args) + [
+                kw.value for kw in node.keywords
+            ]:
+                root, attr = mutable_alias(arg)
+                if root is not None:
+                    flag(arg, root, attr, target)
+        elif isinstance(node, ast.Assign):
+            root, attr = mutable_alias(node.value)
+            if root is None:
+                continue
+            for tgt in node.targets:
+                tgt_root, tgt_attr = _root_attr(tgt)
+                if tgt_root is not None and tgt_root in foreign:
+                    flag(node.value, root, attr,
+                         "into foreign attribute {0}.{1}".format(
+                             tgt_root, tgt_attr))
+    return findings
+
+
+def _describe_escape_callee(model, call, foreign):
+    """Why a call retains its arguments, or ``None`` if it does not.
+
+    Three escape shapes: constructing a message/dataclass (the instance
+    outlives the transition and is delivered elsewhere), constructing
+    an action, and invoking a method on a foreign object.
+    """
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in model.class_index:
+            return "into {0}(...)".format(func.id)
+        if func.id in _ACTION_CTORS:
+            return "into action {0}(...)".format(func.id)
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(
+        func.value, ast.Name
+    ):
+        if func.value.id in foreign:
+            return "to foreign receiver {0}.{1}()".format(
+                func.value.id, func.attr
+            )
+    return None

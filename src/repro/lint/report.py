@@ -1,15 +1,17 @@
-"""Findings and reports: text and JSON rendering.
+"""Findings and reports: text, JSON and SARIF rendering.
 
-The JSON layout is stable (schema version 1) because CI archives it as
+The JSON layout is stable (schema version 2) because CI archives it as
 an artifact and tests validate it:
 
 .. code-block:: json
 
     {
-      "version": 1,
+      "version": 2,
       "tool": "repro-lint",
       "ok": false,
       "files_scanned": 42,
+      "engine": {"name": "ir-dataflow", "passes": ["wellformed", "..."],
+                 "ir_functions": 310, "callgraph_edges": 1200},
       "counts": {"DVS004": 2},
       "findings": [
         {"rule": "DVS004", "name": "impure-predicate-write",
@@ -17,6 +19,11 @@ an artifact and tests validate it:
          "message": "...", "hint": "..."}
       ]
     }
+
+Version 2 added the ``engine`` block (which analysis backend produced
+the findings, with its IR/call-graph sizes) and the ``baselined``
+counter (findings waived by ``--baseline``).  SARIF 2.1.0 output is a
+projection of the same data for code-scanning UIs.
 """
 
 import json
@@ -25,7 +32,14 @@ from dataclasses import dataclass
 from repro.lint.rules import RULES
 
 #: Bumped on any backwards-incompatible change to the JSON layout.
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
+
+#: SARIF constants (the one version GitHub code scanning ingests).
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 @dataclass(frozen=True)
@@ -49,6 +63,11 @@ class Finding:
     def sort_key(self):
         return (self.path, self.line, self.col, self.rule, self.message)
 
+    def fingerprint(self):
+        """Identity under ``--baseline``: deliberately excludes the
+        line number so reformatting does not resurrect old findings."""
+        return (self.rule, self.path, self.message)
+
     def to_dict(self):
         return {
             "rule": self.rule,
@@ -70,11 +89,14 @@ class Finding:
 class Report:
     """The outcome of one lint run over a set of files."""
 
-    def __init__(self, findings, files_scanned, suppressed=0, excluded=0):
+    def __init__(self, findings, files_scanned, suppressed=0, excluded=0,
+                 engine=None, baselined=0):
         self.findings = sorted(findings, key=Finding.sort_key)
         self.files_scanned = files_scanned
         self.suppressed = suppressed
         self.excluded = excluded
+        self.engine = dict(engine) if engine else {"name": "ir-dataflow"}
+        self.baselined = baselined
 
     @property
     def ok(self):
@@ -87,6 +109,29 @@ class Report:
             counts[finding.rule] = counts.get(finding.rule, 0) + 1
         return dict(sorted(counts.items()))
 
+    def apply_baseline(self, baseline):
+        """Waive findings present in ``baseline`` (a parsed version-1/2
+        report dict, or an iterable of finding dicts); returns a new
+        :class:`Report` failing only on what is *new*."""
+        if isinstance(baseline, dict):
+            baseline = baseline.get("findings", [])
+        known = {
+            (entry["rule"], entry["path"], entry["message"])
+            for entry in baseline
+        }
+        kept = [
+            finding for finding in self.findings
+            if finding.fingerprint() not in known
+        ]
+        return Report(
+            kept,
+            files_scanned=self.files_scanned,
+            suppressed=self.suppressed,
+            excluded=self.excluded,
+            engine=self.engine,
+            baselined=len(self.findings) - len(kept),
+        )
+
     def to_dict(self):
         return {
             "version": JSON_SCHEMA_VERSION,
@@ -95,12 +140,68 @@ class Report:
             "files_scanned": self.files_scanned,
             "suppressed": self.suppressed,
             "excluded": self.excluded,
+            "baselined": self.baselined,
+            "engine": dict(self.engine),
             "counts": self.counts(),
             "findings": [f.to_dict() for f in self.findings],
         }
 
     def to_json(self, indent=2):
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def to_sarif(self, indent=2):
+        """The report as a SARIF 2.1.0 document (one run)."""
+        used = sorted({finding.rule for finding in self.findings})
+        rules = [
+            {
+                "id": rule_id,
+                "name": RULES[rule_id].name,
+                "shortDescription": {"text": RULES[rule_id].summary},
+                "help": {"text": RULES[rule_id].hint},
+                "properties": {"lintPass": RULES[rule_id].lint_pass},
+            }
+            for rule_id in used
+        ]
+        results = [
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": used.index(finding.rule),
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    },
+                }],
+            }
+            for finding in self.findings
+        ]
+        document = {
+            "$schema": _SARIF_SCHEMA,
+            "version": _SARIF_VERSION,
+            "runs": [{
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri":
+                            "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    },
+                },
+                "results": results,
+                "properties": {
+                    "filesScanned": self.files_scanned,
+                    "engine": dict(self.engine),
+                },
+            }],
+        }
+        return json.dumps(document, indent=indent, sort_keys=False)
 
     def to_text(self):
         lines = [finding.render() for finding in self.findings]
@@ -129,5 +230,11 @@ class Report:
             lines.append(
                 "{0} finding(s) in packages where the rule is "
                 "configured off".format(self.excluded)
+            )
+        if self.baselined:
+            lines.append(
+                "{0} finding(s) waived by the baseline".format(
+                    self.baselined
+                )
             )
         return "\n".join(lines)

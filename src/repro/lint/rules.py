@@ -15,6 +15,17 @@ Passes (see DESIGN.md section 7):
    ordering: the whole simulation must replay bit-for-bit from a seed.
 3. **aliasing** -- no module- or class-level mutable state that would be
    silently shared across simulated processes.
+4. **races** -- interprocedural thread-boundary analysis of the live
+   runtime: state shared between the synchronous facade and the event
+   loop must cross through a designated handoff
+   (``call_soon_threadsafe`` / ``run_coroutine_threadsafe``).
+5. **escape** -- transition effects must not leak aliases of one
+   layer's mutable state into another layer's reachable set (the
+   static counterpart of the runtime
+   :class:`~repro.gcs.effect_check.EffectIsolationChecker`).
+6. **wire** -- the codec's wire registry must cover every stack message
+   dataclass, with field names and annotations matching the pinned
+   schema.
 """
 
 from dataclasses import dataclass
@@ -124,13 +135,52 @@ _RULES = (
         "simulated process); initialise the container in __init__ or "
         "use an immutable type",
     ),
+    Rule(
+        "DVS012",
+        "cross-thread-state",
+        "races",
+        "mutable state shared across the runtime thread boundary",
+        "marshal the access onto the event loop with "
+        "run_coroutine_threadsafe/call_soon_threadsafe, or justify the "
+        "benign race with a line-scoped ignore",
+    ),
+    Rule(
+        "DVS013",
+        "unmarshalled-loop-call",
+        "races",
+        "caller-thread call into event-loop-owned code",
+        "wrap the call in a designated handoff "
+        "(run_coroutine_threadsafe for coroutines, "
+        "call_soon_threadsafe for callbacks); loop objects are not "
+        "threadsafe",
+    ),
+    Rule(
+        "DVS014",
+        "effect-alias-escape",
+        "escape",
+        "transition effect leaks an alias of mutable layer state",
+        "hand a copy across the layer boundary (list(xs), dict(m), "
+        "set(s)); shared aliases let one layer mutate another's state "
+        "behind the automaton's back",
+    ),
+    Rule(
+        "DVS015",
+        "wire-schema-drift",
+        "wire",
+        "wire registry out of sync with the message dataclasses",
+        "regenerate WIRE_SCHEMA in repro/runtime/codec.py and bump "
+        "WIRE_VERSION if the encoded field order changed; every stack "
+        "message dataclass must be registered in WIRE_TYPES",
+    ),
 )
 
 #: Stable id -> :class:`Rule`, in id order (read-only mapping).
 RULES = MappingProxyType({rule.id: rule for rule in _RULES})
 
 #: The pass names, in execution order.
-PASSES = ("wellformed", "determinism", "aliasing")
+PASSES = (
+    "wellformed", "determinism", "aliasing", "races", "escape", "wire",
+)
 
 
 def rules_for_pass(lint_pass):

@@ -1,0 +1,259 @@
+"""Pass 6: wire-schema drift (DVS015).
+
+The codec (``repro/runtime/codec.py``) encodes a registered dataclass
+as ``["@", "ClassName", [field values]]`` -- *positional*, in declared
+field order.  Nothing in Python stops a later PR from renaming,
+retyping or reordering a field of a message dataclass without anyone
+noticing that the wire layout just changed; the bytes still encode,
+they just mean something else to an older peer.
+
+The codec therefore pins the layout in a ``WIRE_SCHEMA`` literal
+(class name -> ordered ``(field, annotation)`` pairs) next to the
+``WIRE_TYPES`` registry, and this pass proves three things statically:
+
+- **fidelity** -- every registered dataclass's declared fields match
+  the pinned schema, name for name and annotation for annotation
+  (drift is reported at the *dataclass definition*, where the edit
+  happened);
+- **registration** -- ``WIRE_TYPES`` and ``WIRE_SCHEMA`` name exactly
+  the same set of classes;
+- **coverage** -- every frozen top-level dataclass in the stack's
+  message modules (``config.wire_message_globs``) is registered, so a
+  new message cannot silently ride on a connection it cannot survive.
+
+``codec.schema_drift()`` re-proves fidelity at import time from the
+live classes; this rule is the static half of that contract.
+"""
+
+import ast
+
+from repro.lint.report import Finding
+
+_REGISTRY_NAME = "WIRE_TYPES"
+_SCHEMA_NAME = "WIRE_SCHEMA"
+
+
+def _top_level_assign(tree, name):
+    """The value node of a top-level ``name = ...`` assignment."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == name
+            ):
+                return stmt.value
+    return None
+
+
+def _registry_names(value):
+    """Class names listed in ``WIRE_TYPES = (A, B, ...)``, in order."""
+    if not isinstance(value, (ast.Tuple, ast.List)):
+        return None
+    names = []
+    for elt in value.elts:
+        if isinstance(elt, ast.Name):
+            names.append(elt.id)
+        else:
+            return None
+    return names
+
+
+def _schema_entries(value):
+    """``WIRE_SCHEMA`` literal -> {name: ((field, annotation), ...)}.
+
+    Accepts a bare dict literal or one wrapped in a single call
+    (``MappingProxyType({...})``).  Returns ``None`` when the shape is
+    not the recognised literal form.
+    """
+    if isinstance(value, ast.Call) and len(value.args) == 1:
+        value = value.args[0]
+    if not isinstance(value, ast.Dict):
+        return None
+    entries = {}
+    for key, val in zip(value.keys, value.values):
+        if not (
+            isinstance(key, ast.Constant) and isinstance(key.value, str)
+        ):
+            return None
+        if not isinstance(val, (ast.Tuple, ast.List)):
+            return None
+        pairs = []
+        for pair in val.elts:
+            if not (
+                isinstance(pair, (ast.Tuple, ast.List))
+                and len(pair.elts) == 2
+                and all(
+                    isinstance(p, ast.Constant)
+                    and isinstance(p.value, str)
+                    for p in pair.elts
+                )
+            ):
+                return None
+            pairs.append((pair.elts[0].value, pair.elts[1].value))
+        entries[key.value] = tuple(pairs)
+    return entries
+
+
+def _decorator_names(node):
+    names = set()
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        while isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name):
+                names.add(target.value.id + "." + target.attr)
+            target = target.value
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _is_dataclass(node):
+    names = _decorator_names(node)
+    return "dataclass" in names or "dataclasses.dataclass" in names
+
+
+def _is_frozen_dataclass(node):
+    if not _is_dataclass(node):
+        return False
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Call):
+            for kw in deco.keywords:
+                if kw.arg == "frozen" and (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+    return False
+
+
+def _declared_fields(node):
+    """Ordered ``(field, annotation-source)`` pairs of a dataclass."""
+    pairs = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            pairs.append(
+                (stmt.target.id, ast.unparse(stmt.annotation))
+            )
+    return tuple(pairs)
+
+
+def _class_defs(module):
+    """Top-level class definitions of a module, in source order."""
+    return [
+        stmt for stmt in module.tree.body
+        if isinstance(stmt, ast.ClassDef)
+    ]
+
+
+def run_pass(model, config):
+    """All pass-6 findings over the model."""
+    if not config.enabled("DVS015"):
+        return []
+    findings = []
+
+    def flag(path, node, message):
+        findings.append(Finding(
+            rule="DVS015", path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        ))
+
+    codec_modules = [
+        module for module in model.modules
+        if config.is_codec_path(module.path)
+    ]
+    if not codec_modules:
+        return []
+    registered = set()
+    schema = {}
+    # Where each registered-or-pinned name is defined, for fidelity.
+    for module in codec_modules:
+        registry_node = _top_level_assign(module.tree, _REGISTRY_NAME)
+        schema_node = _top_level_assign(module.tree, _SCHEMA_NAME)
+        if registry_node is None:
+            flag(module.path, module.tree,
+                 "codec module defines no {0} registry".format(
+                     _REGISTRY_NAME))
+            continue
+        names = _registry_names(registry_node)
+        if names is None:
+            flag(module.path, registry_node,
+                 "{0} must be a literal tuple of class names".format(
+                     _REGISTRY_NAME))
+            continue
+        if schema_node is None:
+            flag(module.path, module.tree,
+                 "codec module defines no {0} pin".format(_SCHEMA_NAME))
+            continue
+        entries = _schema_entries(schema_node)
+        if entries is None:
+            flag(module.path, schema_node,
+                 "{0} must be a literal dict of (field, annotation) "
+                 "tuples".format(_SCHEMA_NAME))
+            continue
+        registered |= set(names)
+        schema.update(entries)
+        for name in names:
+            if name not in entries:
+                flag(module.path, registry_node,
+                     "{0} registers {1} but {2} does not pin its "
+                     "layout".format(_REGISTRY_NAME, name, _SCHEMA_NAME))
+        for name in entries:
+            if name not in names:
+                flag(module.path, schema_node,
+                     "{0} pins {1} but {2} does not register it".format(
+                         _SCHEMA_NAME, name, _REGISTRY_NAME))
+
+    # Fidelity: every registered class that we can see must declare
+    # exactly the pinned fields -- reported where the class is defined.
+    seen_defs = {}
+    for module in model.modules:
+        in_scope = (
+            config.is_wire_message_path(module.path)
+            or config.is_codec_path(module.path)
+        )
+        for node in _class_defs(module):
+            if node.name in schema and _is_dataclass(node):
+                seen_defs[node.name] = (module, node)
+            if (
+                in_scope
+                and _is_frozen_dataclass(node)
+                and node.name not in registered
+            ):
+                flag(module.path, node,
+                     "stack message dataclass {0} is not registered in "
+                     "the codec's {1}; it cannot cross the wire".format(
+                         node.name, _REGISTRY_NAME))
+    for name in sorted(schema):
+        pinned = schema[name]
+        if name not in seen_defs:
+            continue  # class defined outside the linted tree
+        module, node = seen_defs[name]
+        declared = _declared_fields(node)
+        if declared != pinned:
+            flag(module.path, node,
+                 "wire drift: {0} declares fields {1} but {2} pins {3}; "
+                 "update the pin (and WIRE_VERSION if the layout "
+                 "changed)".format(
+                     name,
+                     _render(declared),
+                     _SCHEMA_NAME,
+                     _render(pinned),
+                 ))
+    return findings
+
+
+def _render(pairs):
+    if not pairs:
+        return "()"
+    return ", ".join(
+        "{0}: {1}".format(field, annotation)
+        for field, annotation in pairs
+    )

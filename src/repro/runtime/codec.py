@@ -35,6 +35,7 @@ produces the same bytes, which keeps wire logs diffable across runs.
 
 import base64
 import json
+import re
 import struct
 from dataclasses import dataclass, fields
 from types import MappingProxyType
@@ -91,6 +92,128 @@ WIRE_TYPES = (
 
 _BY_NAME = MappingProxyType({cls.__name__: cls for cls in WIRE_TYPES})
 _REGISTERED = frozenset(WIRE_TYPES)
+
+#: The pinned wire schema: class name -> ordered ``(field, annotation)``
+#: pairs exactly as declared on the dataclass.  Field order is the
+#: encoded order (the ``"@"`` tag carries positional values), so this
+#: literal is a contract: renaming, retyping or reordering a field of
+#: any registered dataclass without updating it here (and bumping
+#: :data:`WIRE_VERSION` when the layout changes) is wire drift.  Both
+#: :func:`schema_drift` and the static DVS015 rule check it.
+WIRE_SCHEMA = MappingProxyType({
+    "ViewId": (
+        ("epoch", "int"),
+        ("origin", "str"),
+    ),
+    "View": (
+        ("id", "ViewId"),
+        ("members", "FrozenSet[str]"),
+    ),
+    "InfoMsg": (
+        ("act", "View"),
+        ("amb", "FrozenSet[View]"),
+    ),
+    "RegisteredMsg": (),
+    "AckMsg": (
+        ("count", "int"),
+    ),
+    "Collect": (
+        ("round_id", "Tuple[str, int]"),
+        ("members", "frozenset"),
+    ),
+    "StateReply": (
+        ("round_id", "Tuple[str, int]"),
+        ("max_epoch", "int"),
+    ),
+    "Install": (
+        ("round_id", "Tuple[str, int]"),
+        ("view", "View"),
+    ),
+    "Data": (
+        ("vid", "ViewId"),
+        ("payload", "object"),
+        ("sender", "str"),
+    ),
+    "Ordered": (
+        ("vid", "ViewId"),
+        ("seq", "int"),
+        ("payload", "object"),
+        ("sender", "str"),
+    ),
+    "Ack": (
+        ("vid", "ViewId"),
+        ("seq", "int"),
+    ),
+    "SafeNote": (
+        ("vid", "ViewId"),
+        ("seq", "int"),
+    ),
+    "Label": (
+        ("id", "ViewId"),
+        ("seqno", "int"),
+        ("origin", "str"),
+    ),
+    "Summary": (
+        ("con", "FrozenSet[Tuple[Label, object]]"),
+        ("ord", "Tuple[Label, ...]"),
+        ("next", "int"),
+        ("high", "ViewId"),
+    ),
+    "Hello": (
+        ("pid", "str"),
+    ),
+    "Heartbeat": (),
+})
+
+
+_DOTTED_NAME = re.compile(r"\b(?:\w+\.)+(\w+)")
+
+
+def _annotation_name(annotation):
+    """Render a live annotation the way the source declares it: bare
+    class names, no ``typing.`` or module qualification."""
+    if isinstance(annotation, type):
+        text = annotation.__name__
+    elif isinstance(annotation, str):
+        text = annotation
+    else:
+        text = str(annotation)
+    return _DOTTED_NAME.sub(r"\1", text)
+
+
+def schema_drift():
+    """Differences between :data:`WIRE_SCHEMA` and the live dataclasses.
+
+    Returns a sorted list of human-readable drift descriptions (empty
+    when the pin is faithful).  The runtime counterpart of the static
+    DVS015 rule: ``tests/runtime/test_codec.py`` asserts it is empty,
+    so a field rename/retype fails fast even without running the
+    linter.
+    """
+    problems = []
+    for cls in WIRE_TYPES:
+        name = cls.__name__
+        pinned = WIRE_SCHEMA.get(name)
+        if pinned is None:
+            problems.append("{0}: not pinned in WIRE_SCHEMA".format(name))
+            continue
+        live = tuple(
+            (f.name, _annotation_name(f.type)) for f in fields(cls)
+        )
+        if live != tuple(pinned):
+            problems.append(
+                "{0}: declared fields {1!r} != pinned {2!r}".format(
+                    name, live, tuple(pinned)
+                )
+            )
+    for name in WIRE_SCHEMA:
+        if name not in _BY_NAME:
+            problems.append(
+                "{0}: pinned in WIRE_SCHEMA but not in WIRE_TYPES".format(
+                    name
+                )
+            )
+    return sorted(problems)
 
 
 def _canonical(packed):

@@ -52,7 +52,7 @@ class PeerLink:
         self._retry_max = retry_max
         # Backoff jitter avoids N nodes hammering a rebooting peer in
         # lockstep; real-transport entropy is fine here (DESIGN.md §9).
-        self._jitter = random.Random()
+        self._jitter = random.Random()  # lint: ignore[DVS007]
         self._queue = None
         self._task = None
         self._closed = False

@@ -1,0 +1,67 @@
+"""Parser edge cases: shapes the IR and call graph must digest without
+crashing or mis-attributing accesses -- decorated transitions, nested
+classes, async defs, walrus targets, try/finally writes.
+"""
+
+import functools
+
+
+def traced(fn):
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+    return wrapper
+
+
+class TransitionAutomaton:
+    """Local stand-in granting the automaton contract."""
+
+
+class Outer:
+    class Inner:
+        """Nested class: methods belong to Inner, not Outer."""
+
+        def __init__(self):
+            self.items = []
+
+        def push(self, x):
+            self.items.append(x)
+
+    def __init__(self):
+        self.inner = Outer.Inner()
+        self.count = 0
+
+    async def tick(self):
+        self.count += 1
+
+    def walrus(self, xs):
+        if (n := len(xs)) > 3:
+            self.count = n
+        total = 0
+        while (chunk := xs[:2]):
+            total += len(chunk)
+            xs = xs[2:]
+        return total
+
+    def guarded(self, fh):
+        try:
+            data = fh.read()
+            self.count += 1
+        finally:
+            # Writes in finally execute on every path, including the
+            # exceptional ones a naive CFG would drop.
+            self.count += 1
+        return data
+
+
+class DecoratedAutomaton(TransitionAutomaton):
+    inputs = frozenset({"nudge"})
+    outputs = frozenset()
+    internals = frozenset()
+
+    def initial_state(self):
+        return Outer()
+
+    @traced
+    def eff_nudge(self, state, p):
+        state.count += 1

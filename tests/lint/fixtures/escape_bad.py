@@ -1,0 +1,41 @@
+"""Escape fixture (positive): transition effects leaking aliases of
+mutable layer state across the layer boundary.  Expects DVS014 at
+every marked line.
+"""
+
+
+class TransitionAutomaton:
+    """Local stand-in granting the automaton contract."""
+
+
+class LayerState:
+    def __init__(self):
+        self.queue = []
+        self.seen = set()
+        self.label = "x"
+
+
+class Envelope:
+    """A message class: constructing it with state aliases leaks them."""
+
+    def __init__(self, body):
+        self.body = body
+
+
+class BadLayer(TransitionAutomaton):
+    inputs = frozenset({"deliver"})
+    outputs = frozenset({"emit"})
+    internals = frozenset()
+
+    def initial_state(self):
+        return LayerState()
+
+    def pre_emit(self, state, m, p):
+        return bool(state.queue)
+
+    def eff_deliver(self, state, sink, p):
+        sink.push(state.queue)  # expect DVS014: foreign receiver
+        sink.backlog = state.seen  # expect DVS014: foreign store
+
+    def eff_emit(self, state, m, p):
+        return Envelope(state.queue)  # expect DVS014: message alias

@@ -1,0 +1,40 @@
+"""Escape fixture (negative): the same transitions handing over copies
+(or immutable attributes).  Must lint clean under DVS014.
+"""
+
+
+class TransitionAutomaton:
+    """Local stand-in granting the automaton contract."""
+
+
+class LayerState:
+    def __init__(self):
+        self.queue = []
+        self.seen = set()
+        self.label = "x"
+
+
+class Envelope:
+    def __init__(self, body):
+        self.body = body
+
+
+class GoodLayer(TransitionAutomaton):
+    inputs = frozenset({"deliver"})
+    outputs = frozenset({"emit"})
+    internals = frozenset()
+
+    def initial_state(self):
+        return LayerState()
+
+    def pre_emit(self, state, m, p):
+        return bool(state.queue)
+
+    def eff_deliver(self, state, sink, p):
+        sink.push(list(state.queue))  # a copy crosses, not the alias
+        sink.backlog = frozenset(state.seen)
+        sink.tag(state.label)  # immutable attr: fine to share
+
+    def eff_emit(self, state, m, p):
+        state.queue.append(m)  # own-state mutation is what eff_ is for
+        return Envelope(tuple(state.queue))

@@ -1,0 +1,55 @@
+"""Races fixture (positive): a mini sync-facade/event-loop split with
+every cross-thread sin the real runtime could commit.
+
+Linted with ``runtime_globs`` pointing here; expects DVS012 at the
+unmarshalled reads/writes and DVS013 at the direct loop calls.
+"""
+
+import asyncio
+import threading
+
+
+class LoopNode:
+    """Loop-owned: has an async method, does not start the thread."""
+
+    def __init__(self):
+        self.inbox = []
+
+    async def pump(self):
+        self.inbox.append("tick")
+
+    def poke(self):
+        self.inbox.append("poke")
+
+
+class Facade:
+    """Sync facade: constructs the thread, public methods are sync."""
+
+    def __init__(self):
+        self._loop = None
+        self._thread = None
+        self._node = None
+        self._labels = {}
+
+    def start(self):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever)
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(self._boot(), self._loop)
+        return self
+
+    async def _boot(self):
+        self._node = LoopNode()
+        self._labels["booted"] = True
+
+    def drain(self):
+        return list(self._node.inbox)  # expect DVS012: _node raced
+
+    def label(self, key):
+        return self._labels[key]  # expect DVS012: _labels raced
+
+    def poke(self):
+        self._node.poke()  # expect DVS013: loop-owned receiver
+
+    def stop(self):
+        self._loop.stop()  # expect DVS013: not threadsafe

@@ -1,0 +1,61 @@
+"""Races fixture (negative): the same facade with every cross-thread
+access marshalled through a designated handoff.  Must lint clean under
+DVS012/DVS013.
+"""
+
+import asyncio
+import threading
+
+
+class LoopNode:
+    def __init__(self):
+        self.inbox = []
+
+    async def pump(self):
+        self.inbox.append("tick")
+
+    def poke(self):
+        self.inbox.append("poke")
+
+
+class Facade:
+    def __init__(self):
+        self._loop = None
+        self._thread = None
+        self._node = None
+        self._labels = {}
+
+    def start(self):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever)
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(self._boot(), self._loop)
+        return self
+
+    async def _boot(self):
+        self._node = LoopNode()
+        self._labels["booted"] = True
+
+    def drain(self):
+        future = asyncio.run_coroutine_threadsafe(
+            self._drain_async(), self._loop
+        )
+        return future.result()
+
+    async def _drain_async(self):
+        return list(self._node.inbox)
+
+    def label(self, key):
+        future = asyncio.run_coroutine_threadsafe(
+            self._label_async(key), self._loop
+        )
+        return future.result()
+
+    async def _label_async(self, key):
+        return self._labels[key]
+
+    def poke(self):
+        self._loop.call_soon_threadsafe(lambda: self._node.poke())
+
+    def stop(self):
+        self._loop.call_soon_threadsafe(self._loop.stop)

@@ -1,0 +1,30 @@
+"""Wire fixture (clean): registry and pinned schema in sync."""
+
+from dataclasses import dataclass
+from types import MappingProxyType
+
+from .messages import Ping, Pong  # noqa: F401 - registry references
+
+
+@dataclass(frozen=True)
+class Probe:
+    """A codec-local control message."""
+
+    pid: str
+
+
+WIRE_TYPES = (Ping, Pong, Probe)
+
+WIRE_SCHEMA = MappingProxyType({
+    "Ping": (
+        ("seq", "int"),
+        ("origin", "str"),
+    ),
+    "Pong": (
+        ("seq", "int"),
+        ("payload", "Tuple[str, int]"),
+    ),
+    "Probe": (
+        ("pid", "str"),
+    ),
+})

@@ -1,0 +1,23 @@
+"""Wire fixture (clean): every stack message matches the codec's pin."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Ping:
+    seq: int
+    origin: str
+
+
+@dataclass(frozen=True)
+class Pong:
+    seq: int
+    payload: Tuple[str, int]
+
+
+@dataclass
+class ScratchPad:
+    """Not frozen: local bookkeeping, never crosses the wire."""
+
+    notes: str

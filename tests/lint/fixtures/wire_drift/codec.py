@@ -1,0 +1,16 @@
+"""Wire fixture (drift): the pin still describes yesterday's layout."""
+
+from .messages import Ping, Pong  # noqa: F401 - registry references
+
+WIRE_TYPES = (Ping, Pong)
+
+WIRE_SCHEMA = {
+    "Ping": (
+        ("seq", "int"),
+        ("origin", "str"),
+    ),
+    "Pong": (
+        ("seq", "int"),
+        ("payload", "Tuple[str, int]"),
+    ),
+}

@@ -1,0 +1,24 @@
+"""Wire fixture (drift): a renamed field, a retyped field, and an
+unregistered message."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Ping:
+    num: int  # renamed from seq: drift against the pin
+    origin: str
+
+
+@dataclass(frozen=True)
+class Pong:
+    seq: int
+    payload: Tuple[str, str]  # retyped: drift against the pin
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Frozen stack message the registry forgot."""
+
+    seq: int

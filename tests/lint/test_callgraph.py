@@ -1,0 +1,164 @@
+"""Unit tests for the project call graph: class-attribute points-to,
+MRO method resolution, event-loop typing, callback bindings across the
+object boundary and subscript folding through containers.
+"""
+
+import textwrap
+
+from repro.lint.callgraph import (
+    LOOP_CLASS,
+    External,
+    LoopCall,
+    Target,
+    build_project,
+)
+from repro.lint.model import SourceModel
+
+from tests.lint.conftest import fixture_path
+
+PROJECT = """
+import asyncio
+
+
+class Engine:
+    def __init__(self, on_frame):
+        self._cb = on_frame
+        self._loop = asyncio.new_event_loop()
+
+    def fire(self, frame):
+        return self._cb(frame)
+
+    def submit(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def schedule(self, fn):
+        self._loop.call_soon_threadsafe(fn)
+
+    def mystery(self, frame):
+        return frame.decode()
+
+
+class Base:
+    def ping(self):
+        return "base"
+
+
+class Node(Base):
+    def __init__(self):
+        self.engine = None
+        self._links = {}
+
+    def start(self):
+        self.engine = self._build()
+        self._links["a"] = Link()
+
+    def poke(self, key):
+        self._links[key].peer.ping()
+
+    def check(self):
+        return self.ping()
+
+    def _build(self):
+        return Engine(self._on_frame)
+
+    def _on_frame(self, frame):
+        return frame
+
+
+class Link:
+    def __init__(self):
+        self.peer = Base()
+"""
+
+
+def _project():
+    model = SourceModel()
+    model.add_module("proj/mod.py", textwrap.dedent(PROJECT))
+    return build_project(model)
+
+
+def _resolve(project, klass, method, callee):
+    ir = project.classes[klass].methods[method]
+    for site in ir.calls:
+        if site.callee == callee:
+            return project.resolve(site, ir)
+    raise AssertionError(
+        "no call to {0} in {1}.{2}".format(callee, klass, method)
+    )
+
+
+def test_factory_return_inference_types_the_attribute():
+    project = _project()
+    assert project.attr_classes("Node", "engine") == {"Engine"}
+
+
+def test_loop_factories_type_the_loop_attribute():
+    project = _project()
+    assert project.attr_classes("Engine", "_loop") == {LOOP_CLASS}
+
+
+def test_mro_resolution_finds_the_inherited_method():
+    project = _project()
+    (target,) = _resolve(project, "Node", "check", "ping")
+    assert isinstance(target, Target)
+    assert (target.klass, target.name) == ("Base", "ping")
+
+
+def test_subscript_folding_through_container_elements():
+    project = _project()
+    (target,) = _resolve(project, "Node", "poke", "ping")
+    assert isinstance(target, Target)
+    assert (target.klass, target.name) == ("Base", "ping")
+
+
+def test_module_aliased_calls_resolve_to_externals():
+    project = _project()
+    (ext,) = _resolve(
+        project, "Engine", "submit", "run_coroutine_threadsafe"
+    )
+    assert isinstance(ext, External)
+    assert ext.dotted == "asyncio.run_coroutine_threadsafe"
+
+
+def test_calls_on_loop_attributes_become_loop_calls():
+    project = _project()
+    (call,) = _resolve(
+        project, "Engine", "schedule", "call_soon_threadsafe"
+    )
+    assert isinstance(call, LoopCall)
+    assert call.method == "call_soon_threadsafe"
+
+
+def test_callback_binding_crosses_the_object_boundary():
+    project = _project()
+    targets = project.callback_targets("Engine", "_cb")
+    assert [(t.klass, t.name) for t in targets] == [
+        ("Node", "_on_frame")
+    ]
+    # And the call through the attribute resolves to the same handler.
+    (target,) = _resolve(project, "Engine", "fire", "_cb")
+    assert (target.klass, target.name) == ("Node", "_on_frame")
+
+
+def test_unknown_receivers_resolve_to_silence():
+    project = _project()
+    assert _resolve(project, "Engine", "mystery", "decode") == []
+
+
+def test_nested_class_methods_belong_to_the_inner_class():
+    model = SourceModel()
+    with open(fixture_path("edge_cases.py"), encoding="utf-8") as fh:
+        model.add_module("edge_cases.py", fh.read())
+    project = build_project(model)
+    assert "push" in project.classes["Inner"].methods
+    assert "push" not in project.classes["Outer"].methods
+    assert project.classes["Outer"].has_async_method()
+    assert not project.classes["Inner"].has_async_method()
+
+
+def test_engine_statistics_feed_the_report_header():
+    project = _project()
+    assert project.function_count() >= 12
+    before = project.edges
+    _resolve(project, "Node", "check", "ping")
+    assert project.edges == before + 1

@@ -1,0 +1,67 @@
+"""DVS014: the effect alias-escape check on its fixtures, plus the
+mutation tying it to the runtime EffectIsolationChecker's discipline:
+deleting the ``frozenset`` copy in the real ``VsToDvs.eff_vs_newview``
+must reintroduce a finding.
+"""
+
+import os
+
+from repro.lint import LintConfig, lint_paths
+from repro.lint.engine import iter_python_files
+from repro.lint.model import SourceModel
+from repro.lint import escape
+
+from tests.lint.conftest import fixture_path, findings_for, rule_ids
+
+ESCAPE_ONLY = LintConfig(select={"DVS014"})
+
+
+def test_bad_fixture_flags_every_leak():
+    report = lint_paths(
+        [fixture_path("escape_bad.py")], config=ESCAPE_ONLY
+    )
+    assert rule_ids(report) == {"DVS014"}
+    lines = sorted(f.line for f in findings_for(report, "DVS014"))
+    # foreign receiver call, foreign store, message constructor.
+    assert lines == [37, 38, 41]
+    messages = " ".join(f.message for f in report.findings)
+    assert "state.queue" in messages and "state.seen" in messages
+
+
+def test_good_fixture_is_clean():
+    report = lint_paths(
+        [fixture_path("escape_good.py")], config=ESCAPE_ONLY
+    )
+    assert report.ok, report.to_text()
+
+
+def test_real_tree_is_clean():
+    report = lint_paths(["src/repro"], config=ESCAPE_ONLY)
+    assert report.ok, report.to_text()
+
+
+def test_dropping_the_frozenset_copy_reintroduces_the_leak():
+    """The static counterpart of gcs/effect_check.py: the InfoMsg a
+    view change publishes must carry a frozen copy of ``amb``, never
+    the live set."""
+    target = os.path.join("src", "repro", "dvs", "vs_to_dvs.py")
+    with open(target, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    original = "InfoMsg(state.act, frozenset(state.amb))"
+    assert original in source, "mutation anchor drifted"
+    mutated = source.replace(
+        original, "InfoMsg(state.act, state.amb)"
+    )
+    model = SourceModel()
+    for path in iter_python_files(["src/repro"]):
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        model.add_module(
+            path, mutated if path.endswith("vs_to_dvs.py") else text
+        )
+    findings = escape.run_pass(model, LintConfig())
+    assert any(
+        f.rule == "DVS014" and "state.amb" in f.message
+        and f.path.endswith("vs_to_dvs.py")
+        for f in findings
+    ), [f.message for f in findings]

@@ -1,4 +1,4 @@
-"""The JSON report schema (version 1) that CI archives as an artifact."""
+"""The JSON report schema (version 2) that CI archives as an artifact."""
 
 import json
 
@@ -11,6 +11,8 @@ REQUIRED_TOP_LEVEL = {
     "files_scanned": int,
     "suppressed": int,
     "excluded": int,
+    "baselined": int,
+    "engine": dict,
     "counts": dict,
     "findings": list,
 }
@@ -32,9 +34,12 @@ def test_json_schema_on_findings(lint_fixture):
     assert set(payload) == set(REQUIRED_TOP_LEVEL)
     for key, expected_type in REQUIRED_TOP_LEVEL.items():
         assert isinstance(payload[key], expected_type), key
-    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["version"] == JSON_SCHEMA_VERSION == 2
     assert payload["tool"] == "repro-lint"
     assert payload["ok"] is False
+    assert payload["engine"]["name"] == "ir-dataflow"
+    assert "races" in payload["engine"]["passes"]
+    assert payload["engine"]["ir_functions"] >= 1
     assert payload["findings"]
     for finding in payload["findings"]:
         assert set(finding) == set(REQUIRED_FINDING)

@@ -22,7 +22,31 @@ RULE_FIXTURES = {
     "DVS009": ("determinism_bad.py", "determinism_good.py"),
     "DVS010": ("aliasing_bad.py", "aliasing_good.py"),
     "DVS011": ("aliasing_bad.py", "aliasing_good.py"),
+    "DVS012": ("races_bad.py", "races_good.py"),
+    "DVS013": ("races_bad.py", "races_good.py"),
+    "DVS014": ("escape_bad.py", "escape_good.py"),
+    "DVS015": ("wire_drift", "wire_clean"),
 }
+
+#: Fixtures whose pass gates on path globs need the globs pointed at
+#: the fixture tree; everything else lints with the defaults.
+FIXTURE_CONFIGS = {
+    "races_bad.py": {"runtime_globs": ("*/fixtures/races_bad.py",)},
+    "races_good.py": {"runtime_globs": ("*/fixtures/races_good.py",)},
+    "wire_drift": {
+        "codec_globs": ("*/fixtures/wire_drift/codec.py",),
+        "wire_message_globs": ("*/fixtures/wire_drift/messages.py",),
+    },
+    "wire_clean": {
+        "codec_globs": ("*/fixtures/wire_clean/codec.py",),
+        "wire_message_globs": ("*/fixtures/wire_clean/messages.py",),
+    },
+}
+
+
+def _fixture_config(name):
+    kwargs = FIXTURE_CONFIGS.get(name)
+    return LintConfig(**kwargs) if kwargs is not None else None
 
 
 def test_every_registered_rule_has_fixture_coverage():
@@ -32,22 +56,23 @@ def test_every_registered_rule_has_fixture_coverage():
 @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
 def test_rule_fires_on_seeded_fixture(lint_fixture, rule):
     bad, _ = RULE_FIXTURES[rule]
-    report = lint_fixture(bad)
+    report = lint_fixture(bad, config=_fixture_config(bad))
     assert rule in rule_ids(report), report.to_text()
 
 
 @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
 def test_rule_silent_on_clean_fixture(lint_fixture, rule):
     _, good = RULE_FIXTURES[rule]
-    report = lint_fixture(good)
+    report = lint_fixture(good, config=_fixture_config(good))
     assert rule not in rule_ids(report), report.to_text()
 
 
 @pytest.mark.parametrize("name", [
     "wellformed_good.py", "determinism_good.py", "aliasing_good.py",
+    "races_good.py", "escape_good.py", "wire_clean", "edge_cases.py",
 ])
 def test_clean_fixtures_are_fully_clean(lint_fixture, name):
-    report = lint_fixture(name)
+    report = lint_fixture(name, config=_fixture_config(name))
     assert report.ok, report.to_text()
 
 

@@ -1,0 +1,121 @@
+"""SARIF rendering and baseline waiving, library and CLI surfaces."""
+
+import json
+
+from repro.cli import main
+from repro.lint import lint_paths
+
+from tests.lint.conftest import fixture_path
+
+
+def _bad_report():
+    return lint_paths([fixture_path("determinism_bad.py")])
+
+
+# -- SARIF 2.1.0 -------------------------------------------------------
+
+
+def test_sarif_document_shape():
+    document = json.loads(_bad_report().to_sarif())
+    assert document["version"] == "2.1.0"
+    assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = document["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert run["results"], "seeded fixture must produce results"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(set(rule_ids)), "rules sorted and unique"
+    for result in run["results"]:
+        assert result["level"] == "error"
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        (location,) = result["locations"]
+        region = location["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        # SARIF columns are 1-based; findings carry 0-based cols.
+        assert region["startColumn"] >= 1
+    assert run["properties"]["engine"]["name"] == "ir-dataflow"
+
+
+def test_sarif_rules_carry_help_and_pass():
+    document = json.loads(_bad_report().to_sarif())
+    for rule in document["runs"][0]["tool"]["driver"]["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["help"]["text"]
+        assert rule["properties"]["lintPass"]
+
+
+def test_sarif_on_clean_tree_has_no_results():
+    report = lint_paths([fixture_path("aliasing_good.py")])
+    document = json.loads(report.to_sarif())
+    assert document["runs"][0]["results"] == []
+    assert document["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+# -- Baselines ---------------------------------------------------------
+
+
+def test_baseline_waives_known_findings():
+    report = _bad_report()
+    assert not report.ok
+    rebased = report.apply_baseline(report.to_dict())
+    assert rebased.ok
+    assert rebased.baselined == len(report.findings)
+    assert rebased.files_scanned == report.files_scanned
+    assert "waived by the baseline" in rebased.to_text()
+    assert rebased.to_dict()["baselined"] == rebased.baselined
+
+
+def test_baseline_keeps_new_findings():
+    report = _bad_report()
+    waived = report.findings[0]
+    partial = {"findings": [waived.to_dict()]}
+    rebased = report.apply_baseline(partial)
+    assert rebased.baselined >= 1
+    assert len(rebased.findings) == len(report.findings) - (
+        rebased.baselined
+    )
+    assert waived.fingerprint() not in {
+        f.fingerprint() for f in rebased.findings
+    }
+
+
+def test_baseline_identity_survives_line_shifts():
+    report = _bad_report()
+    moved = [
+        dict(entry, line=entry["line"] + 7)
+        for entry in report.to_dict()["findings"]
+    ]
+    rebased = report.apply_baseline(moved)
+    assert rebased.ok, "line renumbering must not resurrect findings"
+
+
+# -- CLI surface -------------------------------------------------------
+
+
+def test_cli_writes_sarif_artifact(tmp_path, capsys):
+    artifact = tmp_path / "lint-report.sarif"
+    code = main([
+        "lint", fixture_path("determinism_bad.py"),
+        "--format", "sarif", "--output", str(artifact),
+    ])
+    assert code == 1
+    document = json.loads(artifact.read_text())
+    assert document["version"] == "2.1.0"
+    assert document["runs"][0]["results"]
+    # The human-readable summary still lands on stdout for CI logs.
+    assert "finding(s)" in capsys.readouterr().out
+
+
+def test_cli_baseline_gates_only_new_findings(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code = main([
+        "lint", fixture_path("determinism_bad.py"),
+        "--format", "json", "--output", str(baseline),
+    ])
+    assert code == 1
+    code = main([
+        "lint", fixture_path("determinism_bad.py"),
+        "--baseline", str(baseline),
+    ])
+    assert code == 0
+    assert "waived by the baseline" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""DVS015: wire-schema drift on the fixture trees and the real codec."""
+
+import os
+
+from repro.lint import LintConfig, lint_paths
+
+from tests.lint.conftest import fixture_path, findings_for, rule_ids
+
+
+def _config(tree):
+    return LintConfig(
+        select={"DVS015"},
+        codec_globs=("*/fixtures/{0}/codec.py".format(tree),),
+        wire_message_globs=("*/fixtures/{0}/messages.py".format(tree),),
+    )
+
+
+def test_clean_tree_has_no_drift():
+    report = lint_paths(
+        [fixture_path("wire_clean")], config=_config("wire_clean")
+    )
+    assert report.ok, report.to_text()
+
+
+def test_drifted_tree_reports_every_divergence():
+    report = lint_paths(
+        [fixture_path("wire_drift")], config=_config("wire_drift")
+    )
+    assert rule_ids(report) == {"DVS015"}
+    messages = [f.message for f in findings_for(report, "DVS015")]
+    # Renamed field (Ping.seq -> num) and retyped field (Pong.payload).
+    assert any("Ping" in m and "num: int" in m for m in messages)
+    assert any("Pong" in m and "Tuple[str, str]" in m for m in messages)
+    # Unregistered frozen message.
+    assert any("Nack" in m and "not registered" in m for m in messages)
+    assert len(messages) == 3
+    # Drift is reported at the dataclass definitions, not the codec.
+    drift_paths = {
+        f.path for f in report.findings if "wire drift" in f.message
+    }
+    assert all(p.endswith("messages.py") for p in drift_paths)
+
+
+def test_missing_registry_is_reported(tmp_path):
+    codec = tmp_path / "codec.py"
+    codec.write_text('"""codec without a registry."""\nX = 1\n')
+    report = lint_paths([str(tmp_path)], config=LintConfig(
+        select={"DVS015"},
+        codec_globs=("*/codec.py",),
+        wire_message_globs=(),
+    ))
+    assert [f.rule for f in report.findings] == ["DVS015"]
+    assert "no WIRE_TYPES registry" in report.findings[0].message
+
+
+def test_real_codec_is_pinned_and_clean():
+    report = lint_paths(["src/repro"], config=LintConfig(
+        select={"DVS015"},
+    ))
+    assert report.ok, report.to_text()
+
+
+def test_renaming_a_real_wire_field_reports_drift(tmp_path):
+    """Acceptance: retyping/renaming any field of a wire dataclass is
+    reported against the codec's pin."""
+    import shutil
+
+    tree = tmp_path / "repro"
+    shutil.copytree(os.path.join("src", "repro"), tree)
+    target = tree / "gcs" / "messages.py"
+    source = target.read_text()
+    assert "vid: ViewId" in source
+    target.write_text(source.replace("vid: ViewId", "view_id: ViewId"))
+    report = lint_paths([str(tmp_path)], config=LintConfig(
+        select={"DVS015"},
+    ))
+    assert not report.ok
+    assert all(f.rule == "DVS015" for f in report.findings)
+    assert any(
+        "wire drift" in f.message and f.path.endswith("messages.py")
+        for f in report.findings
+    ), report.to_text()

@@ -297,3 +297,12 @@ def test_trailing_bytes_rejected_strict():
     frame = encode_frame(Heartbeat())
     with pytest.raises(CodecError, match="trailing"):
         decode_frame(frame + b"\x00")
+
+
+def test_pinned_schema_matches_the_dataclasses():
+    """The WIRE_SCHEMA pin (which `repro lint` checks statically as
+    DVS015) agrees with the live dataclass definitions."""
+    from repro.runtime.codec import WIRE_SCHEMA, schema_drift
+
+    assert schema_drift() == []
+    assert set(WIRE_SCHEMA) == {cls.__name__ for cls in WIRE_TYPES}

@@ -1,8 +1,10 @@
 """The clean-tree gate: ``repro lint`` must pass on the shipped source.
 
-This is the CI contract of DESIGN.md section 7: every rule of the
-automaton well-formedness, determinism and aliasing passes holds on
-``src/repro`` (modulo explicitly visible ``# lint: ignore`` sites).
+This is the CI contract of DESIGN.md sections 7 and 10: every rule of
+the automaton well-formedness, determinism, aliasing, thread-boundary
+race, effect-escape and wire-schema passes holds on ``src/repro``
+(modulo explicitly visible ``# lint: ignore`` sites -- there are no
+blanket package exclusions).
 """
 
 import os
@@ -25,9 +27,26 @@ def test_source_tree_scan_covers_the_package():
 
 
 def test_rule_registry_shape():
-    assert len(RULES) >= 8
+    assert len(RULES) >= 15
     for rule_id, rule in RULES.items():
         assert rule_id == rule.id
         assert rule_id.startswith("DVS")
-        assert rule.lint_pass in ("wellformed", "determinism", "aliasing")
+        assert rule.lint_pass in (
+            "wellformed", "determinism", "aliasing",
+            "races", "escape", "wire",
+        )
         assert rule.summary and rule.hint
+    passes = {rule.lint_pass for rule in RULES.values()}
+    assert passes == {
+        "wellformed", "determinism", "aliasing",
+        "races", "escape", "wire",
+    }
+
+
+def test_clean_gate_covers_the_interprocedural_rules():
+    # The gate above is only meaningful if the new passes actually ran
+    # over the runtime package (no blanket excludes hide it).
+    report = lint_paths([SRC])
+    assert "races" in report.engine["passes"]
+    assert "wire" in report.engine["passes"]
+    assert report.engine["ir_functions"] > 100
