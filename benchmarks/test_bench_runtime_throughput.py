@@ -3,10 +3,17 @@
 Measures totally-ordered broadcast throughput and delivery latency on
 an in-process :class:`~repro.runtime.cluster.RuntimeCluster` (every
 node a real socket endpoint on 127.0.0.1) for 3- and 5-node clusters,
-with the online safety monitor armed throughout.  Latencies are taken
-from the shared action log: for each request, the gap between its
-``bcast`` record and each replica's ``brcv`` record on the cluster's
-monotonic clock.
+with the online safety monitor armed throughout.  End-to-end latencies
+are taken from the shared action log: for each request, the gap between
+its ``bcast`` record and each replica's ``brcv`` record on the
+cluster's monotonic clock.
+
+The headline runs are *traced*: the observability layer is armed, and
+each result carries the per-stage latency breakdown (wire / vs / dvs /
+to) stitched from causal spans, plus the fan-out economics of the
+encode-once broadcast path (frames shipped per codec encode).  A
+dedicated comparison measures the tracing+metrics overhead against an
+untraced run of the same workload.
 
 Results are also written to ``BENCH_runtime.json`` at the repository
 root (CI archives it as an artifact).
@@ -15,11 +22,13 @@ root (CI archives it as an artifact).
 import json
 import os
 
+import repro.runtime.node
 from repro.analysis import render_table
 from repro.apps.kv_store import KvReplica
 from repro.runtime.cluster import RuntimeCluster
 
 REQUESTS = 200
+OVERHEAD_REQUESTS = 120
 WAIT = 60.0
 RESULT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -37,15 +46,40 @@ def _percentile(values, fraction):
     return ordered[index]
 
 
-def _run_workload(nodes, requests=REQUESTS):
+class _EncodeCounter:
+    """Counts trips through the runtime codec's encode path for the
+    duration of one workload (single-threaded arm/disarm brackets the
+    cluster's whole lifetime)."""
+
+    def __init__(self):
+        self.calls = 0
+        self._real = None
+
+    def __enter__(self):
+        self._real = repro.runtime.node.encode_frame
+
+        def counting(envelope):
+            self.calls += 1
+            return self._real(envelope)
+
+        repro.runtime.node.encode_frame = counting
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        repro.runtime.node.encode_frame = self._real
+        return False
+
+
+def _run_workload(nodes, requests=REQUESTS, obs=False):
     pids = ["n{0}".format(i + 1) for i in range(nodes)]
     cluster = RuntimeCluster(
         pids,
         app_factory=lambda node: KvReplica(node.to),
         hb_interval=0.05,
         hb_timeout=0.25,
+        obs=True if obs else None,
     )
-    with cluster:
+    with _EncodeCounter() as encodes, cluster:
         cluster.wait_formation(timeout=WAIT)
         t_start = cluster._call(lambda: cluster._clock.now)
         for i in range(requests):
@@ -66,6 +100,8 @@ def _run_workload(nodes, requests=REQUESTS):
         t_end = cluster._call(lambda: cluster._clock.now)
         cluster.check()
         timed = cluster._call(cluster.log.timed_actions)
+        trace = cluster.trace_snapshot() if obs else None
+        metrics = cluster.metrics_snapshot() if obs else None
 
     sends = {}
     latencies = []
@@ -79,9 +115,10 @@ def _run_workload(nodes, requests=REQUESTS):
 
     elapsed = t_end - t_start
     assert latencies, "action log must carry timed bcast/brcv pairs"
-    return {
+    result = {
         "nodes": nodes,
         "requests": requests,
+        "traced": bool(obs),
         "elapsed_s": round(elapsed, 4),
         "throughput_req_s": round(requests / elapsed, 1),
         "deliveries": len(latencies),
@@ -92,6 +129,33 @@ def _run_workload(nodes, requests=REQUESTS):
             "max": round(1e3 * max(latencies), 3),
         },
     }
+    if obs:
+        stages = trace["summary"]["stages"]
+        result["stages_ms"] = {
+            stage: {
+                "p50": round(stats["p50_ms"], 3),
+                "mean": round(stats["mean_ms"], 3),
+                "p95": round(stats["p95_ms"], 3),
+                "max": round(stats["max_ms"], 3),
+            }
+            for stage, stats in sorted(stages.items())
+        }
+        result["span_deliveries"] = trace["summary"]["deliveries"]
+        result["span_orphans"] = trace["summary"]["orphans"]
+        frames_out = sum(
+            metrics["runtime.{0}.transport.frames_out".format(pid)]["value"]
+            for pid in pids
+        )
+        # The encode-once broadcast path: frames shipped per codec
+        # encode (> 1 means fan-out reused one encoded frame).
+        result["encode_once"] = {
+            "frames_out": frames_out,
+            "encodes": encodes.calls,
+            "frames_per_encode": round(
+                frames_out / encodes.calls, 2
+            ) if encodes.calls else None,
+        }
+    return result
 
 
 def _bench(benchmark, nodes):
@@ -99,9 +163,11 @@ def _bench(benchmark, nodes):
     # part of neither the throughput window nor the latency samples,
     # but they make repeats expensive -- hence pedantic single rounds.
     result = benchmark.pedantic(
-        _run_workload, args=(nodes,), rounds=1, iterations=1
+        _run_workload, args=(nodes,), kwargs={"obs": True},
+        rounds=1, iterations=1,
     )
     assert result["deliveries"] >= nodes * REQUESTS
+    assert result["span_orphans"] == 0
     RESULTS["{0}-node".format(nodes)] = result
     return result
 
@@ -116,17 +182,73 @@ def test_bench_runtime_to_5_nodes(benchmark):
     assert result["throughput_req_s"] > 0
 
 
+def test_stage_breakdown_accounts_for_end_to_end_latency():
+    """The per-stage p50s must reassemble the end-to-end p50: the span
+    decomposition is exact per delivery, so the medians may disagree
+    only by ordinary non-additivity (within 15%)."""
+    result = RESULTS.get("3-node")
+    if result is None:
+        result = RESULTS["3-node"] = _run_workload(3, obs=True)
+    stages = result["stages_ms"]
+    stage_sum = sum(
+        stages[name]["p50"] for name in ("wire", "vs", "dvs", "to")
+    )
+    total_p50 = stages["total"]["p50"]
+    assert total_p50 > 0
+    assert abs(stage_sum - total_p50) <= 0.15 * total_p50, (
+        "stage p50s {0:.3f}ms vs end-to-end p50 {1:.3f}ms".format(
+            stage_sum, total_p50
+        )
+    )
+    # Encode-once fan-out: strictly more frames shipped than encodes.
+    economics = result["encode_once"]
+    assert economics["frames_per_encode"] > 1.0
+
+
+def test_tracing_overhead_is_bounded():
+    """Arming tracing+metrics must cost < 10% throughput on the 3-node
+    workload.  Run-to-run scheduler noise on loopback TCP exceeds the
+    overhead itself, so: one discarded warm-up, then interleaved
+    untraced/traced pairs, comparing best-of-3 each way."""
+    _run_workload(3, requests=OVERHEAD_REQUESTS // 2)  # warm-up
+    untraced, traced = [], []
+    for _ in range(3):
+        untraced.append(
+            _run_workload(
+                3, requests=OVERHEAD_REQUESTS
+            )["throughput_req_s"]
+        )
+        traced.append(
+            _run_workload(
+                3, requests=OVERHEAD_REQUESTS, obs=True
+            )["throughput_req_s"]
+        )
+    untraced, traced = max(untraced), max(traced)
+    ratio = traced / untraced
+    RESULTS["tracing-overhead"] = {
+        "requests": OVERHEAD_REQUESTS,
+        "untraced_req_s": untraced,
+        "traced_req_s": traced,
+        "traced_over_untraced": round(ratio, 4),
+    }
+    assert ratio >= 0.9, (
+        "tracing overhead too high: {0:.1f} traced vs {1:.1f} untraced "
+        "req/s".format(traced, untraced)
+    )
+
+
 def test_bench_runtime_report():
     # Runs after the measurements (pytest preserves file order); if a
     # subset was selected, regenerate what is missing.
     for nodes in (3, 5):
         RESULTS.setdefault(
-            "{0}-node".format(nodes), _run_workload(nodes)
+            "{0}-node".format(nodes), _run_workload(nodes, obs=True)
         )
     payload = {
         "benchmark": "runtime-to-throughput",
         "transport": "tcp-loopback",
         "monitor": "armed",
+        "observability": "traced headline runs; overhead vs untraced",
         "results": {k: RESULTS[k] for k in sorted(RESULTS)},
     }
     with open(RESULT_PATH, "w", encoding="utf-8") as handle:
@@ -135,20 +257,27 @@ def test_bench_runtime_report():
     rows = []
     for key in sorted(RESULTS):
         r = RESULTS[key]
+        if "latency_ms" not in r:
+            continue
+        stages = r.get("stages_ms", {})
         rows.append([
             key,
             r["requests"],
             r["throughput_req_s"],
             r["latency_ms"]["p50"],
+            stages.get("wire", {}).get("p50", "-"),
+            stages.get("vs", {}).get("p50", "-"),
+            stages.get("dvs", {}).get("p50", "-"),
+            stages.get("to", {}).get("p50", "-"),
             r["latency_ms"]["p95"],
-            r["latency_ms"]["max"],
         ])
     print()
     print(
         render_table(
-            ["cluster", "requests", "req/s", "p50 ms", "p95 ms", "max ms"],
+            ["cluster", "requests", "req/s", "p50 ms", "wire", "vs",
+             "dvs", "to", "p95 ms"],
             rows,
             title="E11: live TO broadcast on loopback TCP "
-                  "(monitor armed)",
+                  "(monitor armed, spans stitched)",
         )
     )

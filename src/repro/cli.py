@@ -27,7 +27,15 @@ serve
     loopback cluster driving a replicated key-value workload (with a
     mid-run crash and rejoin) under the online safety monitor; with
     ``--pid``/``--bind``/``--peer``, one node of a real multi-process
-    deployment in the foreground.
+    deployment in the foreground.  ``--metrics-json``/``--trace-json``
+    arm the observability layer and export its snapshots.
+trace
+    Run a traced workload (simulated by default, ``--live`` for real
+    loopback TCP) and print the per-stage latency breakdown stitched
+    from causal spans; ``--output`` exports the full trace JSON.
+metrics
+    Run the live loopback workload with the metrics registry armed and
+    print the counters/gauges/histograms.
 demo
     Run the partitioned-ledger scenario on the simulated cluster.
 """
@@ -319,6 +327,149 @@ def _cmd_serve(args):
     return cmd_serve(args)
 
 
+def _render_trace_summary(data):
+    from repro.analysis import render_table
+
+    summary = data["summary"]
+    rows = []
+    for stage in ("wire", "vs", "dvs", "to", "total"):
+        stats = summary["stages"].get(stage)
+        if stats is None:
+            continue
+        rows.append([
+            stage,
+            "{0:.3f}".format(stats["p50_ms"]),
+            "{0:.3f}".format(stats["mean_ms"]),
+            "{0:.3f}".format(stats["p95_ms"]),
+            "{0:.3f}".format(stats["max_ms"]),
+        ])
+    print(render_table(
+        ["stage", "p50 ms", "mean ms", "p95 ms", "max ms"],
+        rows,
+        title="per-stage delivery latency: {0} deliveries, "
+              "{1} view span(s), {2} orphan(s)".format(
+                  summary["deliveries"], summary["views"],
+                  summary["orphans"]),
+    ))
+
+
+def _traced_sim_run(args):
+    from repro.gcs.cluster import Cluster
+
+    procs = ["p{0}".format(i + 1) for i in range(args.processes)]
+    cluster = Cluster(procs, seed=args.seed, obs=True)
+    cluster.start().settle(max_time=500.0)
+    for i in range(args.requests):
+        cluster.bcast(procs[i % len(procs)], ("req", i))
+    cluster.settle(max_time=10000.0)
+    print("traced simulated run: {0} processes, {1} requests, "
+          "seed {2}".format(args.processes, args.requests, args.seed))
+    return cluster.obs.tracer.to_json_dict()
+
+
+def _traced_live_run(args):
+    from repro.apps.kv_store import KvReplica
+    from repro.runtime.cluster import RuntimeCluster
+
+    pids = ["n{0}".format(i + 1) for i in range(args.processes)]
+    cluster = RuntimeCluster(
+        pids, app_factory=lambda node: KvReplica(node.to), obs=True,
+    )
+    with cluster:
+        cluster.wait_formation(timeout=args.timeout)
+        for i in range(args.requests):
+            pid = pids[i % len(pids)]
+            cluster.call_app(
+                pid,
+                lambda app, i=i: app.put(
+                    "k{0}".format(i), "v{0}".format(i)
+                ),
+            )
+        cluster.wait_until(
+            lambda: all(
+                cluster.app(pid).log_length >= args.requests
+                for pid in pids
+            ),
+            timeout=args.timeout,
+            what="{0} requests applied everywhere".format(args.requests),
+        )
+        data = cluster.trace_snapshot()
+    print("traced live run: {0} nodes on loopback TCP, "
+          "{1} requests".format(args.processes, args.requests))
+    return data
+
+
+def _cmd_trace(args):
+    data = _traced_live_run(args) if args.live else _traced_sim_run(args)
+    _render_trace_summary(data)
+    if args.output:
+        import json as _json
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            _json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("trace JSON written to {0}".format(args.output))
+    return 0 if not data["summary"]["orphans"] else 1
+
+
+def _format_metric(snap):
+    if snap["type"] == "histogram":
+        return "n={0} p50={1:.6g} p95={2:.6g} max={3:.6g}".format(
+            snap["count"], snap["p50"] or 0, snap["p95"] or 0,
+            snap["max"] or 0,
+        )
+    if snap["type"] == "gauge":
+        return "{0} (high {1})".format(snap["value"], snap["high"])
+    return str(snap["value"])
+
+
+def _cmd_metrics(args):
+    from repro.analysis import render_table
+    from repro.apps.kv_store import KvReplica
+    from repro.runtime.cluster import RuntimeCluster
+
+    pids = ["n{0}".format(i + 1) for i in range(args.processes)]
+    cluster = RuntimeCluster(
+        pids, app_factory=lambda node: KvReplica(node.to), obs=True,
+    )
+    with cluster:
+        cluster.wait_formation(timeout=args.timeout)
+        for i in range(args.requests):
+            pid = pids[i % len(pids)]
+            cluster.call_app(
+                pid,
+                lambda app, i=i: app.put(
+                    "k{0}".format(i), "v{0}".format(i)
+                ),
+            )
+        cluster.wait_until(
+            lambda: all(
+                cluster.app(pid).log_length >= args.requests
+                for pid in pids
+            ),
+            timeout=args.timeout,
+            what="{0} requests applied everywhere".format(args.requests),
+        )
+        snapshot = cluster.obs_snapshot()
+    rows = [
+        [name, snap["type"], _format_metric(snap)]
+        for name, snap in sorted(snapshot["metrics"].items())
+    ]
+    print(render_table(
+        ["metric", "type", "value"], rows,
+        title="live loopback metrics: {0} nodes, {1} requests".format(
+            args.processes, args.requests),
+    ))
+    if args.output:
+        import json as _json
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            _json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("metrics snapshot written to {0}".format(args.output))
+    return 0
+
+
 def _cmd_demo(args):
     import examples.partitioned_ledger as demo  # noqa: F401 - optional
 
@@ -453,7 +604,46 @@ def build_parser():
                        help="heartbeat beacon interval (seconds)")
     serve.add_argument("--hb-timeout", type=float, default=None,
                        help="peer liveness timeout (default 4x interval)")
+    serve.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="loopback mode: arm observability and write "
+                            "the metrics snapshot here")
+    serve.add_argument("--trace-json", default=None, metavar="PATH",
+                       help="loopback mode: arm observability and write "
+                            "the stitched trace here")
     serve.set_defaults(func=_cmd_serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced workload and print the per-stage latency "
+             "breakdown stitched from causal spans",
+    )
+    trace.add_argument("--processes", type=int, default=3)
+    trace.add_argument("--requests", type=int, default=30,
+                       help="TO broadcasts to trace")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="simulated mode: network schedule seed")
+    trace.add_argument("--live", action="store_true",
+                       help="trace a real loopback TCP cluster instead "
+                            "of the simulator")
+    trace.add_argument("--timeout", type=float, default=30.0,
+                       help="live mode: bound on each wait")
+    trace.add_argument("--output", default=None, metavar="PATH",
+                       help="write the full trace JSON here")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the live loopback workload with the metrics registry "
+             "armed and print it",
+    )
+    metrics.add_argument("--processes", type=int, default=3)
+    metrics.add_argument("--requests", type=int, default=30,
+                         help="KV puts to order")
+    metrics.add_argument("--timeout", type=float, default=30.0,
+                         help="bound on each wait")
+    metrics.add_argument("--output", default=None, metavar="PATH",
+                         help="write the metrics snapshot JSON here")
+    metrics.set_defaults(func=_cmd_metrics)
 
     demo = sub.add_parser("demo", help="partitioned-ledger demo")
     demo.set_defaults(func=_cmd_demo)

@@ -37,7 +37,11 @@ class Cluster:
       with snapshots of every *other* process's layer state and raise
       :class:`~repro.gcs.effect_check.EffectIsolationError` if handling
       an event at one process mutates another's state (the runtime
-      cross-check of the ``repro lint`` purity/aliasing passes).
+      cross-check of the ``repro lint`` purity/aliasing passes);
+    - ``obs`` -- ``True`` for a fresh :class:`repro.obs.Observability`
+      (or a prebuilt one): causal spans + metrics collected from the
+      action log and the simulated wire, with no change to what the
+      trace-property checkers see.
     """
 
     def __init__(
@@ -53,6 +57,7 @@ class Cluster:
         dvs_factory=None,
         log_limit=None,
         check_effects=False,
+        obs=None,
     ):
         self.processes = sorted(processes)
         if initial_view is None:
@@ -60,11 +65,16 @@ class Cluster:
         self.initial_view = initial_view
         if monitor:
             log_limit = None  # a monitor's diagnostics need the full log
+        if obs is True:
+            from repro.obs import Observability
+
+            obs = Observability()
+        self.obs = obs
         self.net = Network(
             seed=seed, min_latency=min_latency, max_latency=max_latency,
-            log_limit=log_limit,
+            log_limit=log_limit, tracer=obs,
         )
-        self.log = ActionLog(clock=lambda: self.net.queue.now)
+        self.log = ActionLog(clock=lambda: self.net.queue.now, tracer=obs)
         self.monitor = self._build_monitor(monitor)
         self.nemesis = self._build_nemesis(nemesis)
         self.last_settle = None

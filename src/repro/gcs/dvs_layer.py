@@ -90,6 +90,7 @@ class DvsLayer(VsListener):
             return
         self.registered_ids.add(self.client_cur.id)
         self._record("dvs_register", self.pid)
+        self._probe("dvs_register_view", self.client_cur.id, self.pid)
         if self.cur is not None and self.client_cur.id == self.cur.id:
             self.stack.gpsnd(RegisteredMsg())
 
@@ -222,3 +223,10 @@ class DvsLayer(VsListener):
     def _record(self, name, *params):
         if self.recorder is not None:
             self.recorder.record(name, *params)
+
+    def _probe(self, name, *params):
+        """Tracer-only span event (never enters the action log)."""
+        if self.recorder is not None:
+            probe = getattr(self.recorder, "probe", None)
+            if probe is not None:
+                probe(name, *params)

@@ -17,12 +17,19 @@ class ActionLog:
     With a ``clock`` callable (e.g. the network's simulated-time reader)
     each action also gets a timestamp in ``times``, enabling latency
     analysis (:mod:`repro.analysis.execution_stats`).
+
+    A ``tracer`` (anything with ``on_action(time, name, params)``, e.g.
+    :class:`repro.obs.Observability`) additionally sees every recorded
+    action *and* every :meth:`probe` -- tracer-only events that never
+    enter ``actions``, so the trace-property checkers keep consuming
+    exactly the automaton vocabulary.
     """
 
-    def __init__(self, clock=None):
+    def __init__(self, clock=None, tracer=None):
         self.actions = []
         self.times = []
         self.clock = clock
+        self.tracer = tracer
         #: Callables invoked as ``observer(time, action)`` on every record;
         #: online monitors (:mod:`repro.faults.monitor`) attach here and may
         #: raise to fail a run fast.
@@ -33,8 +40,18 @@ class ActionLog:
         time = self.clock() if self.clock is not None else None
         self.actions.append(action)
         self.times.append(time)
+        if self.tracer is not None:
+            self.tracer.on_action(time, name, params)
         for observer in self.observers:
             observer(time, action)
+
+    def probe(self, name, *params):
+        """Emit a tracer-only event: timestamped like an action but kept
+        out of ``actions``/``times`` (checkers never see probes)."""
+        if self.tracer is None:
+            return
+        time = self.clock() if self.clock is not None else None
+        self.tracer.on_action(time, name, params)
 
     def timed_actions(self):
         return list(zip(self.times, self.actions))

@@ -76,6 +76,7 @@ class ToLayer(DvsListener):
             label = Label(self.current.id, self.nextseqno, self.pid)
             self.nextseqno += 1
             self.content[label] = payload
+            self._probe("to_label", label, self.pid)
             self.dvs.gpsnd((label, payload))
 
     # -- DVS upcalls ------------------------------------------------------------------
@@ -139,6 +140,7 @@ class ToLayer(DvsListener):
             self.highprimary = self.current.id
             self.status = NORMAL
             self.established.add(self.current.id)
+            self._probe("to_established", self.current.id, self.pid)
             self.dvs.register()
             self._drain_delay()
             self._confirm_and_deliver()
@@ -155,9 +157,17 @@ class ToLayer(DvsListener):
             label = self.order[self.nextreport - 1]
             payload = self.content[label]
             self.nextreport += 1
+            self._probe("to_deliver", label, self.pid)
             self._record("brcv", payload, label.origin, self.pid)
             self.listener.on_brcv(payload, label.origin)
 
     def _record(self, name, *params):
         if self.recorder is not None:
             self.recorder.record(name, *params)
+
+    def _probe(self, name, *params):
+        """Tracer-only span event (never enters the action log)."""
+        if self.recorder is not None:
+            probe = getattr(self.recorder, "probe", None)
+            if probe is not None:
+                probe(name, *params)

@@ -121,8 +121,10 @@ class VsStackNode(Node):
         self.round_counter += 1
         round_id = (self.pid, self.round_counter)
         self.active_round = (round_id, frozenset(component), {})
-        for member in sorted(component):
-            self.send(member, Collect(round_id, frozenset(component)))
+        self._probe("vs_round", round_id, self.pid)
+        self.broadcast(
+            sorted(component), Collect(round_id, frozenset(component))
+        )
 
     def on_message(self, src, msg):
         handler = {
@@ -153,8 +155,8 @@ class VsStackNode(Node):
         epoch = max(max(replies.values()), self.max_epoch) + 1
         view = View(ViewId(epoch, self.pid), members)
         self.active_round = None
-        for member in sorted(members):
-            self.send(member, Install(round_id, view))
+        self._probe("vs_form", round_id, view.id, self.pid)
+        self.broadcast(sorted(members), Install(round_id, view))
 
     def _on_install(self, src, msg):
         view = msg.view
@@ -180,9 +182,9 @@ class VsStackNode(Node):
         ordering = self.ordering
         seq = ordering.next_assign
         ordering.next_assign += 1
+        self._probe("vs_seq", msg.payload, self.pid)
         broadcast = Ordered(msg.vid, seq, msg.payload, msg.sender)
-        for member in sorted(self.view.set):
-            self.send(member, broadcast)
+        self.broadcast(sorted(self.view.set), broadcast)
 
     def _on_ordered(self, src, msg):
         if not self._in_current_view(msg.vid):
@@ -208,8 +210,7 @@ class VsStackNode(Node):
         ) >= self.view.set:
             note = SafeNote(msg.vid, ordering.next_safe_broadcast)
             ordering.next_safe_broadcast += 1
-            for member in sorted(self.view.set):
-                self.send(member, note)
+            self.broadcast(sorted(self.view.set), note)
 
     def _on_safe_note(self, src, msg):
         if not self._in_current_view(msg.vid):
@@ -233,3 +234,10 @@ class VsStackNode(Node):
     def _record(self, name, *params):
         if self.recorder is not None:
             self.recorder.record(name, *params)
+
+    def _probe(self, name, *params):
+        """Tracer-only span event (never enters the action log)."""
+        if self.recorder is not None:
+            probe = getattr(self.recorder, "probe", None)
+            if probe is not None:
+                probe(name, *params)

@@ -46,8 +46,9 @@ class Node:
         self.net.send(self.pid, dst, msg)
 
     def broadcast(self, dsts, msg):
-        for dst in dsts:
-            self.net.send(self.pid, dst, msg)
+        # Delegating the fan-out lets the host optimise it (the live
+        # runtime encodes the frame once for all destinations).
+        self.net.broadcast(self.pid, dsts, msg)
 
     def set_timer(self, delay, tag):
         return self.net.set_timer(self.pid, delay, tag)
@@ -99,11 +100,14 @@ class Network:
     """The simulated network tying nodes, channels and faults together."""
 
     def __init__(self, seed=0, min_latency=1.0, max_latency=2.0,
-                 log_limit=None):
+                 log_limit=None, tracer=None):
         self.queue = EventQueue()
         self.rng = random.Random(seed)
         self.min_latency = min_latency
         self.max_latency = max_latency
+        #: Optional span sink (``wire_event(stage, pid, peer, msg, t)``,
+        #: e.g. :class:`repro.obs.Observability`); purely observational.
+        self.tracer = tracer
         self.nodes = {}
         self._component_of = {}
         self._crashed = set()
@@ -231,6 +235,10 @@ class Network:
             self._record("fault_drop", (src, dst, msg))
             return
         self._record("send", (src, dst, msg))
+        if self.tracer is not None:
+            self.tracer.wire_event(
+                "wire_send", src, dst, msg, self.queue.now
+            )
         channel = (src, dst)
         for extra in copies:
             latency = self.rng.uniform(self.min_latency, self.max_latency)
@@ -245,9 +253,18 @@ class Network:
                     self._record("drop", (src, dst, msg))
                     return
                 self._record("deliver", (src, dst, msg))
+                if self.tracer is not None:
+                    self.tracer.wire_event(
+                        "wire_recv", dst, src, msg, self.queue.now
+                    )
                 self.nodes[dst].on_message(src, msg)
 
             self.queue.schedule(deliver_at - self.queue.now, deliver)
+
+    def broadcast(self, src, dsts, msg):
+        """Fan ``msg`` out to every destination (one channel send each)."""
+        for dst in dsts:
+            self.send(src, dst, msg)
 
     def set_timer(self, pid, delay, tag):
         def fire():

@@ -1,0 +1,181 @@
+"""A small metrics registry: counters, gauges, log-bucketed histograms.
+
+The registry is deliberately dependency-free and clock-free: every
+instrument is a plain in-process accumulator, and anything time-shaped
+(latency samples, timestamps) is *passed in* by the caller -- the
+observability layer must satisfy the same determinism contract
+(``repro lint`` DVS006/007) as the code it instruments.
+
+Histograms use power-of-two buckets over a configurable base unit
+(default one microsecond for latency-in-seconds samples): bucket ``i``
+covers ``(base * 2**(i-1), base * 2**i]`` with bucket 0 covering
+``[0, base]``.  Percentiles are read back as the upper bound of the
+bucket where the cumulative count crosses the rank -- a bounded-error
+estimate whose memory cost is independent of the sample count, which is
+what lets the registry sit on the runtime hot path.
+
+Snapshots are plain JSON-ready dicts with deterministically sorted
+keys, so two runs over the same event sequence serialize identically.
+"""
+
+import json
+import math
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def snapshot(self):
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins level (queue depth, buffer occupancy)."""
+
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0
+        self.high = 0
+
+    def set(self, value):
+        self.value = value
+        if value > self.high:
+            self.high = value
+
+    def snapshot(self):
+        return {"type": self.kind, "value": self.value, "high": self.high}
+
+
+class Histogram:
+    """Log-bucketed distribution of non-negative samples.
+
+    ``base`` is the width of bucket 0 in the sample's own unit; with
+    seconds samples the default ``1e-6`` makes bucket upper bounds land
+    on 1us, 2us, 4us, ... so microsecond-scale codec costs and
+    second-scale view formations share one shape.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, base=1e-6):
+        self.base = float(base)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._buckets = {}
+
+    def bucket_index(self, value):
+        if value <= self.base:
+            return 0
+        # ceil(log2(value / base)); the +1e-12 guards representation
+        # noise at exact powers of two from landing one bucket low.
+        return max(1, int(math.ceil(math.log2(value / self.base) - 1e-12)))
+
+    def bucket_bound(self, index):
+        """Upper bound of bucket ``index`` in the sample's unit."""
+        return self.base * (2.0 ** index)
+
+    def observe(self, value):
+        if value < 0:
+            value = 0.0
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = self.bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def percentile(self, fraction):
+        """The upper bound of the bucket holding the ``fraction`` rank
+        (``None`` on an empty histogram)."""
+        if self.count == 0:
+            return None
+        rank = max(1, int(math.ceil(fraction * self.count)))
+        cumulative = 0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= rank:
+                return self.bucket_bound(index)
+        return self.bucket_bound(max(self._buckets))
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else None
+
+    def snapshot(self):
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "buckets": {
+                # Keys are the bucket upper bounds, stringified so the
+                # snapshot is JSON-ready.
+                repr(self.bucket_bound(index)): self._buckets[index]
+                for index in sorted(self._buckets)
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by dotted name.
+
+    Re-requesting a name returns the existing instrument (so a
+    restarted node keeps accumulating into the same series); asking for
+    the same name as a different kind is a programming error and
+    raises.
+    """
+
+    def __init__(self):
+        self._instruments = {}
+
+    def _get(self, name, factory, kind):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif instrument.kind != kind:
+            raise ValueError(
+                "metric {0!r} already registered as {1}".format(
+                    name, instrument.kind
+                )
+            )
+        return instrument
+
+    def counter(self, name):
+        return self._get(name, Counter, "counter")
+
+    def gauge(self, name):
+        return self._get(name, Gauge, "gauge")
+
+    def histogram(self, name, base=1e-6):
+        return self._get(name, lambda: Histogram(base=base), "histogram")
+
+    def __len__(self):
+        return len(self._instruments)
+
+    def snapshot(self):
+        """All instruments, sorted by name, as JSON-ready dicts."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def to_json(self):
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)

@@ -1,0 +1,90 @@
+"""Span events and the per-node ring buffer holding them.
+
+A :class:`SpanEvent` is one observation of a message or view-change at
+one stage of the layer tower (``to_label``, ``dvs_send``, ``wire_recv``,
+...).  Events carry the *stitching key* -- the identifier that already
+rides on the wire (a :class:`~repro.to.summaries.Label` for messages, a
+view or round identifier for the membership lifecycle) -- so spans are
+reassembled purely from ids, with no side channel between nodes.
+
+Each node writes into its own :class:`SpanRing`: a preallocated
+fixed-capacity buffer with a single monotonically increasing append
+counter.  There is exactly one writer per ring (the node's event loop
+or the simulator's single thread), so appends are a slot write plus a
+counter bump -- no locks, no allocation, and overflow overwrites the
+oldest slot while ``dropped`` keeps the honest count.
+"""
+
+class SpanEvent:
+    """One stage crossing, keyed for stitching.
+
+    ``key`` is ``("msg", label)``, ``("view", view_id)`` or
+    ``("round", round_id)``; ``seq`` is a tracer-wide tiebreak so two
+    events at the same timestamp keep their emission order.
+
+    A hand-rolled slotted class, not a frozen dataclass: emission sits
+    on the runtime hot path, and ``object.__setattr__``-based frozen
+    init costs several times a plain attribute write.
+    """
+
+    __slots__ = ("key", "stage", "pid", "t", "seq", "peer")
+
+    def __init__(self, key, stage, pid, t, seq, peer=None):
+        self.key = key
+        self.stage = stage
+        self.pid = pid
+        self.t = t
+        self.seq = seq
+        self.peer = peer
+
+    def _tuple(self):
+        return (self.key, self.stage, self.pid, self.t, self.seq,
+                self.peer)
+
+    def __eq__(self, other):
+        if not isinstance(other, SpanEvent):
+            return NotImplemented
+        return self._tuple() == other._tuple()
+
+    def __hash__(self):
+        return hash(self._tuple())
+
+    def __repr__(self):
+        return (
+            "SpanEvent(key={0!r}, stage={1!r}, pid={2!r}, t={3!r}, "
+            "seq={4!r}, peer={5!r})".format(*self._tuple())
+        )
+
+
+class SpanRing:
+    """Single-writer bounded ring of :class:`SpanEvent`.
+
+    ``appended`` only ever grows; the live window is the last
+    ``min(appended, capacity)`` events and ``dropped`` counts the
+    overwritten prefix.
+    """
+
+    def __init__(self, capacity=65536):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self.appended = 0
+        self._slots = [None] * capacity
+
+    @property
+    def dropped(self):
+        return max(0, self.appended - self.capacity)
+
+    def __len__(self):
+        return min(self.appended, self.capacity)
+
+    def append(self, event):
+        self._slots[self.appended % self.capacity] = event
+        self.appended += 1
+
+    def snapshot(self):
+        """The live window, oldest first."""
+        if self.appended <= self.capacity:
+            return list(self._slots[: self.appended])
+        start = self.appended % self.capacity
+        return self._slots[start:] + self._slots[:start]

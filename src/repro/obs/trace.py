@@ -1,0 +1,426 @@
+"""Causal span tracing across the VS -> DVS -> TO tower.
+
+One client broadcast crosses the stack as::
+
+    to_label     the TO layer mints the Label at the origin
+    dvs_send     DVS-GPSND at the origin
+    vs_send      VS-GPSND at the origin (forward to the sequencer)
+    wire_send    the Data frame leaves the origin
+    wire_recv    the Data frame reaches the sequencer
+    vs_seq       the sequencer assigns the slot
+    wire_send    the Ordered frame leaves the sequencer (per member)
+    wire_recv    the Ordered frame reaches a member
+    vs_deliver   VS-GPRCV at the member
+    dvs_deliver  DVS-GPRCV at the member
+    to_deliver   TO confirms and releases the payload (BRCV)
+
+and the view lifecycle as ``vs_round`` (connectivity change starts a
+membership round) -> ``vs_form`` -> ``vs_install`` -> ``dvs_attempt``
+-> ``to_established`` -> ``dvs_register``.
+
+The tracer never invents identifiers: message spans stitch on the
+:class:`~repro.to.summaries.Label` already carried inside Data/Ordered
+payloads, view spans on the :class:`~repro.core.viewids.ViewId` (and
+the leader's round id, linked to the view by the ``vs_form`` probe).
+Both the simulator and the live runtime therefore produce the same
+spans from the same wire traffic -- the tracer only listens.
+
+Every node appends into its own :class:`~repro.obs.spans.SpanRing`;
+stitching happens lazily at read time over ring snapshots.
+"""
+
+import json
+from types import MappingProxyType
+
+from repro.gcs.messages import Data, Install, Ordered
+from repro.obs.spans import SpanEvent, SpanRing
+from repro.to.summaries import Label
+
+#: Action-log name -> span stage for events the layers already record.
+_ACTION_STAGES = MappingProxyType({
+    "vs_gpsnd": "vs_send",
+    "dvs_gpsnd": "dvs_send",
+    "vs_gprcv": "vs_deliver",
+    "dvs_gprcv": "dvs_deliver",
+    "vs_newview": "vs_install",
+    "dvs_newview": "dvs_attempt",
+})
+
+#: Probe name -> span stage for the events only the tracer consumes.
+_PROBE_STAGES = MappingProxyType({
+    "to_label": "to_label",
+    "to_deliver": "to_deliver",
+    "to_established": "to_established",
+    "dvs_register_view": "dvs_register",
+    "vs_seq": "vs_seq",
+    "vs_round": "vs_round",
+    "vs_form": "vs_form",
+})
+
+#: Message-span stage names, in causal order (for rendering).
+MESSAGE_STAGES = (
+    "to_label", "dvs_send", "vs_send", "wire_send", "wire_recv",
+    "vs_seq", "vs_deliver", "dvs_deliver", "to_deliver",
+)
+
+#: View-span stage names, in causal order.
+VIEW_STAGES = (
+    "vs_round", "vs_form", "vs_install", "dvs_attempt",
+    "to_established", "dvs_register",
+)
+
+
+def message_key(payload):
+    """The stitching key hidden in a VS/DVS payload, or ``None``."""
+    if isinstance(payload, Label):
+        return ("msg", payload)
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 2
+        and isinstance(payload[0], Label)
+    ):
+        return ("msg", payload[0])
+    return None
+
+
+def wire_key(msg):
+    """The stitching key of a wire message, or ``None`` (untraced)."""
+    if isinstance(msg, (Data, Ordered)):
+        return message_key(msg.payload)
+    if isinstance(msg, Install):
+        return ("view", msg.view.id)
+    return None
+
+
+def _delta(earlier, later):
+    if earlier is None or later is None:
+        return 0.0
+    return later - earlier
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+class Tracer:
+    """Collects span events and stitches them into causal spans.
+
+    Single-threaded by contract: both hosts funnel every event through
+    one thread (the simulator's driver or the runtime's event loop), so
+    emission is an unsynchronized ring append.  Readers in the live
+    runtime must marshal onto the loop (the cluster facade does).
+    """
+
+    def __init__(self, ring_size=65536):
+        self.ring_size = ring_size
+        self._rings = {}
+        self._seq = 0
+        #: ViewId -> the leader round that formed it (vs_form linkage).
+        self._view_round = {}
+
+    # -- Emission ----------------------------------------------------------
+
+    def ring(self, pid):
+        ring = self._rings.get(pid)
+        if ring is None:
+            ring = SpanRing(self.ring_size)
+            self._rings[pid] = ring
+        return ring
+
+    def _emit(self, key, stage, pid, t, peer=None):
+        self._seq += 1
+        self.ring(pid).append(
+            SpanEvent(key=key, stage=stage, pid=pid, t=t,
+                      seq=self._seq, peer=peer)
+        )
+
+    def on_action(self, t, name, params):
+        """Hook for :class:`~repro.gcs.recorder.ActionLog`: both the
+        layers' interface actions and the tracer-only probes."""
+        stage = _ACTION_STAGES.get(name)
+        if stage is not None:
+            if name in ("vs_gprcv", "dvs_gprcv"):
+                key, pid = message_key(params[0]), params[2]
+            elif name in ("vs_newview", "dvs_newview"):
+                key, pid = ("view", params[0].id), params[1]
+            else:  # vs_gpsnd / dvs_gpsnd
+                key, pid = message_key(params[0]), params[1]
+            if key is not None:
+                self._emit(key, stage, pid, t)
+            return
+        stage = _PROBE_STAGES.get(name)
+        if stage is None:
+            return
+        if name in ("to_label", "to_deliver"):
+            self._emit(("msg", params[0]), stage, params[1], t)
+        elif name in ("to_established", "dvs_register_view"):
+            self._emit(("view", params[0]), stage, params[1], t)
+        elif name == "vs_seq":
+            key = message_key(params[0])
+            if key is not None:
+                self._emit(key, stage, params[1], t)
+        elif name == "vs_round":
+            self._emit(("round", params[0]), stage, params[1], t)
+        elif name == "vs_form":
+            round_id, vid, pid = params
+            self._view_round[vid] = round_id
+            self._emit(("view", vid), stage, pid, t)
+
+    def wire_event(self, stage, pid, peer, msg, t):
+        """A frame crossed the transport (``wire_send``/``wire_recv``)."""
+        key = wire_key(msg)
+        if key is not None:
+            self._emit(key, stage, pid, t, peer=peer)
+
+    # -- Reading -----------------------------------------------------------
+
+    def events(self):
+        """Every live event across all rings, in emission order."""
+        merged = []
+        for pid in sorted(self._rings):
+            merged.extend(self._rings[pid].snapshot())
+        merged.sort(key=lambda e: e.seq)
+        return merged
+
+    def dropped(self):
+        return sum(r.dropped for r in self._rings.values())
+
+    def _by_key(self):
+        grouped = {}
+        for event in self.events():
+            grouped.setdefault(event.key, []).append(event)
+        return grouped
+
+    @staticmethod
+    def _first(events, stage, pid=None, peer=None):
+        for event in events:
+            if event.stage != stage:
+                continue
+            if pid is not None and event.pid != pid:
+                continue
+            if peer is not None and event.peer != peer:
+                continue
+            return event
+        return None
+
+    @classmethod
+    def _last(cls, events, stage, pid=None, peer=None):
+        return cls._first(list(reversed(events)), stage, pid=pid,
+                          peer=peer)
+
+    def deliveries(self):
+        """One per-stage breakdown per ``(label, destination)`` pair.
+
+        Stage attribution (times in the host's clock unit, seconds):
+
+        - ``to``   -- labelling at the origin plus confirmation at the
+          destination;
+        - ``dvs``  -- the primary filter, both directions;
+        - ``wire`` -- transport time of the Data hop (origin ->
+          sequencer) plus the Ordered hop (sequencer -> destination),
+          with the sequencer identified by the ``vs_seq`` probe; a hop
+          that never touched the wire (self-send local loopback, or a
+          hop whose endpoints coincide) costs 0;
+        - ``vs``   -- the residual, so the four stages sum *exactly*
+          to ``total`` per delivery (sequencing, acks and stability
+          live here).
+        """
+        rows = []
+        for key, events in self._by_key().items():
+            if key[0] != "msg":
+                continue
+            label = key[1]
+            label_ev = self._first(events, "to_label")
+            delivers = [e for e in events if e.stage == "to_deliver"]
+            if label_ev is None:
+                continue
+            origin = label_ev.pid
+            t0 = label_ev.t
+            dvs_send = self._first(events, "dvs_send", pid=origin)
+            vs_send = self._first(events, "vs_send", pid=origin)
+            seq_ev = self._first(events, "vs_seq")
+            sequencer = None if seq_ev is None else seq_ev.pid
+            hop1 = None
+            if sequencer is not None and sequencer != origin:
+                hop1 = (
+                    self._first(events, "wire_send", pid=origin,
+                                peer=sequencer),
+                    self._first(events, "wire_recv", pid=sequencer,
+                                peer=origin),
+                )
+            for deliver in delivers:
+                dst = deliver.pid
+                vs_del = self._first(events, "vs_deliver", pid=dst)
+                dvs_del = self._first(events, "dvs_deliver", pid=dst)
+                hop2 = None
+                if sequencer is not None and sequencer != dst:
+                    # _last: the Ordered frame is the newest wire pair
+                    # on this edge (the Data broadcast may share it).
+                    hop2 = (
+                        self._last(events, "wire_send", pid=sequencer,
+                                   peer=dst),
+                        self._last(events, "wire_recv", pid=dst,
+                                   peer=sequencer),
+                    )
+                total = _delta(t0, deliver.t)
+                to_time = (
+                    _delta(t0, None if dvs_send is None else dvs_send.t)
+                    + _delta(
+                        None if dvs_del is None else dvs_del.t, deliver.t
+                    )
+                )
+                dvs_time = _delta(
+                    None if dvs_send is None else dvs_send.t,
+                    None if vs_send is None else vs_send.t,
+                ) + _delta(
+                    None if vs_del is None else vs_del.t,
+                    None if dvs_del is None else dvs_del.t,
+                )
+                wire_time = 0.0
+                for hop in (hop1, hop2):
+                    if hop is not None and None not in hop:
+                        wire_time += _delta(hop[0].t, hop[1].t)
+                rows.append({
+                    "label": label,
+                    "origin": origin,
+                    "dst": dst,
+                    "total": total,
+                    "stages": {
+                        "to": to_time,
+                        "dvs": dvs_time,
+                        "wire": wire_time,
+                        "vs": total - to_time - dvs_time - wire_time,
+                    },
+                })
+        rows.sort(key=lambda r: (str(r["label"]), r["dst"]))
+        return rows
+
+    def orphans(self):
+        """Deliveries whose span has no ``to_label`` root -- with the
+        rings sized to the run, there must be none."""
+        bad = []
+        for key, events in self._by_key().items():
+            if key[0] != "msg":
+                continue
+            if self._first(events, "to_label") is not None:
+                continue
+            for event in events:
+                if event.stage == "to_deliver":
+                    bad.append((key[1], event.pid))
+        return sorted(bad, key=lambda pair: (str(pair[0]), pair[1]))
+
+    def view_spans(self):
+        """One record per attempted/established view."""
+        grouped = self._by_key()
+        records = []
+        for key, events in grouped.items():
+            if key[0] != "view":
+                continue
+            vid = key[1]
+            stages = {}
+            for event in events:
+                if event.stage not in stages:
+                    stages[event.stage] = event.t
+            round_id = self._view_round.get(vid)
+            if round_id is not None:
+                for event in grouped.get(("round", round_id), ()):
+                    if event.stage == "vs_round":
+                        stages.setdefault("vs_round", event.t)
+                        break
+            known = [t for t in stages.values() if t is not None]
+            records.append({
+                "view": vid,
+                "round": round_id,
+                "stages": stages,
+                "established_at": sorted(
+                    e.pid for e in events if e.stage == "to_established"
+                ),
+                "duration": (max(known) - min(known)) if known else None,
+            })
+        records.sort(key=lambda r: str(r["view"]))
+        return records
+
+    def stage_summary(self):
+        """Aggregate per-stage statistics over all message deliveries."""
+        rows = self.deliveries()
+        summary = {
+            "deliveries": len(rows),
+            "messages": len({str(r["label"]) for r in rows}),
+            "orphans": len(self.orphans()),
+            "views": sum(1 for k in self._by_key() if k[0] == "view"),
+            "events_dropped": self.dropped(),
+            "stages": {},
+        }
+        for stage in ("wire", "vs", "dvs", "to", "total"):
+            values = [
+                r["total"] if stage == "total" else r["stages"][stage]
+                for r in rows
+            ]
+            if not values:
+                continue
+            summary["stages"][stage] = {
+                "mean_ms": 1e3 * sum(values) / len(values),
+                "p50_ms": 1e3 * _percentile(values, 0.50),
+                "p95_ms": 1e3 * _percentile(values, 0.95),
+                "max_ms": 1e3 * max(values),
+            }
+        return summary
+
+    # -- Export ------------------------------------------------------------
+
+    @staticmethod
+    def _label_json(label):
+        return {
+            "vid": str(label.id),
+            "seqno": label.seqno,
+            "origin": label.origin,
+        }
+
+    def to_json_dict(self):
+        """The full trace as JSON-ready data (spans, views, summary)."""
+        deliveries = [
+            {
+                "label": self._label_json(row["label"]),
+                "origin": row["origin"],
+                "dst": row["dst"],
+                "total_ms": 1e3 * row["total"],
+                "stages_ms": {
+                    stage: 1e3 * value
+                    for stage, value in sorted(row["stages"].items())
+                },
+            }
+            for row in self.deliveries()
+        ]
+        views = [
+            {
+                "view": str(record["view"]),
+                "round": (
+                    None if record["round"] is None
+                    else list(record["round"])
+                ),
+                "stages": {
+                    stage: record["stages"][stage]
+                    for stage in sorted(record["stages"])
+                },
+                "established_at": record["established_at"],
+                "duration_s": record["duration"],
+            }
+            for record in self.view_spans()
+        ]
+        return {
+            "ring_size": self.ring_size,
+            "events": sum(len(r) for r in self._rings.values()),
+            "events_dropped": self.dropped(),
+            "summary": self.stage_summary(),
+            "deliveries": deliveries,
+            "views": views,
+            "orphans": [
+                {"label": self._label_json(label), "dst": dst}
+                for label, dst in self.orphans()
+            ],
+        }
+
+    def to_json(self):
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True)

@@ -47,7 +47,7 @@ class RuntimeCluster:
 
     def __init__(self, processes, host="127.0.0.1", monitor=True,
                  app_factory=None, initial_view=None, hb_interval=0.05,
-                 hb_timeout=0.25, queue_limit=4096):
+                 hb_timeout=0.25, queue_limit=4096, obs=None):
         self.processes = sorted(processes)
         if initial_view is None:
             initial_view = View(ViewId(0, ""), frozenset(self.processes))
@@ -58,7 +58,15 @@ class RuntimeCluster:
         self._queue_limit = queue_limit
         self._app_factory = app_factory
         self._clock = None
-        self.log = ActionLog(clock=self._log_now)
+        if obs is True:
+            from repro.obs import Observability
+
+            obs = Observability()
+        #: Optional :class:`repro.obs.Observability`: spans + metrics,
+        #: fed on the loop thread, read through the marshalled
+        #: snapshot methods below.
+        self.obs = obs
+        self.log = ActionLog(clock=self._log_now, tracer=obs)
         self.monitor = None
         if monitor:
             if monitor is True:
@@ -87,7 +95,7 @@ class RuntimeCluster:
         return self
 
     async def _start_all(self):
-        self._clock = MonotonicClock(asyncio.get_event_loop())
+        self._clock = MonotonicClock(asyncio.get_running_loop())
         for pid in self.processes:
             node = self._build_node(pid, member=None)
             self._nodes[pid] = node
@@ -100,7 +108,7 @@ class RuntimeCluster:
             pid, self._book, initial_view=self.initial_view,
             recorder=self.log, member=member, host=self._host,
             hb_interval=self._hb_interval, hb_timeout=self._hb_timeout,
-            queue_limit=self._queue_limit,
+            queue_limit=self._queue_limit, obs=self.obs,
         )
 
     def stop(self, timeout=CALL_TIMEOUT):
@@ -293,3 +301,29 @@ class RuntimeCluster:
         return self._call(lambda: {
             pid: node.stats() for pid, node in sorted(self._nodes.items())
         })
+
+    # -- Observability (requires ``obs=``) ---------------------------------
+
+    def _require_obs(self):
+        if self.obs is None:
+            raise ValueError(
+                "cluster built without obs= (pass obs=True to arm "
+                "tracing and metrics)"
+            )
+        return self.obs
+
+    def metrics_snapshot(self, timeout=CALL_TIMEOUT):
+        """The metrics registry, snapshotted on the loop thread."""
+        obs = self._require_obs()
+        return self._call(obs.metrics.snapshot, timeout=timeout)
+
+    def trace_snapshot(self, timeout=CALL_TIMEOUT):
+        """The full stitched trace (spans, views, per-stage summary) as
+        JSON-ready data, read on the loop thread."""
+        obs = self._require_obs()
+        return self._call(obs.tracer.to_json_dict, timeout=timeout)
+
+    def obs_snapshot(self, timeout=CALL_TIMEOUT):
+        """Metrics + trace summary + derived gcs statistics."""
+        obs = self._require_obs()
+        return self._call(obs.snapshot, timeout=timeout)

@@ -422,6 +422,10 @@ class FrameDecoder:
     def __init__(self, max_frame=MAX_FRAME):
         self._buffer = bytearray()
         self._max_frame = max_frame
+        #: Observability counters: raw bytes absorbed and complete
+        #: frames decoded over this decoder's lifetime.
+        self.bytes_fed = 0
+        self.frames_decoded = 0
 
     @property
     def pending(self):
@@ -431,6 +435,7 @@ class FrameDecoder:
     def feed(self, data):
         """Absorb ``data``; return the list of completed frame values."""
         self._buffer.extend(data)
+        self.bytes_fed += len(data)
         messages = []
         while True:
             if len(self._buffer) < _HEADER.size:
@@ -448,3 +453,4 @@ class FrameDecoder:
             body = bytes(self._buffer[_HEADER.size:end])
             del self._buffer[:end]
             messages.append(decode(body))
+            self.frames_decoded += 1

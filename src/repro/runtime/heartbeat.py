@@ -34,12 +34,13 @@ class ConnectivityEstimator:
     """
 
     def __init__(self, pid, peers, clock, send_heartbeats, notify,
-                 interval=0.05, timeout=None, grace=None):
+                 interval=0.05, timeout=None, grace=None, on_error=None):
         self.pid = pid
         self._peers = peers
         self._clock = clock
         self._send_heartbeats = send_heartbeats
         self._notify = notify
+        self._on_error = on_error
         self.interval = interval
         self.timeout = 4 * interval if timeout is None else timeout
         self.grace = self.timeout if grace is None else grace
@@ -72,9 +73,19 @@ class ConnectivityEstimator:
     # -- Reporting ---------------------------------------------------------
 
     def poll(self):
-        """One tick: beacon, then report the component if it changed."""
+        """One tick: prune, beacon, then report the component if it
+        changed."""
         if self._started_at is None:
             self._started_at = self._clock.now
+        # Evidence for peers no longer in the address book is dropped:
+        # without this, ``_last_heard`` grows without bound over churn
+        # in a long-lived deployment, and a peer that is removed and
+        # later re-added would be resurrected by its *stale* timestamps
+        # instead of having to prove itself alive again.
+        known = set(self._peers())
+        for peer in sorted(self._last_heard):
+            if peer not in known:
+                del self._last_heard[peer]
         self._send_heartbeats()
         if self._clock.now - self._started_at < self.grace:
             return None
@@ -102,5 +113,12 @@ class ConnectivityEstimator:
             self._task.cancel()
             try:
                 await self._task
-            except (asyncio.CancelledError, Exception):
+            except asyncio.CancelledError:
                 pass
+            except Exception as exc:
+                # A real teardown error must surface, not vanish into a
+                # dead except arm (CancelledError is a BaseException).
+                if self._on_error is not None:
+                    self._on_error(exc)
+                else:
+                    raise

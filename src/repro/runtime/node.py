@@ -22,7 +22,12 @@ import asyncio
 from repro.gcs.dvs_layer import DvsLayer
 from repro.gcs.to_layer import ToLayer
 from repro.gcs.vs_stack import VsStackNode
-from repro.runtime.codec import CodecError, Heartbeat, Hello
+from repro.runtime.codec import (
+    CodecError,
+    Heartbeat,
+    Hello,
+    encode_frame,
+)
 from repro.runtime.heartbeat import ConnectivityEstimator
 from repro.runtime.transport import Listener, PeerLink, QUEUE_LIMIT
 
@@ -55,6 +60,9 @@ class _RuntimeNet:
     def send(self, src, dst, msg):
         self._node._transport_send(dst, msg)
 
+    def broadcast(self, src, dsts, msg):
+        self._node._transport_broadcast(dsts, msg)
+
     def set_timer(self, pid, delay, tag):
         return self._node._set_timer(delay, tag)
 
@@ -77,11 +85,29 @@ class RuntimeNode:
 
     def __init__(self, pid, book, initial_view, recorder=None,
                  listener=None, member=None, host="127.0.0.1", port=0,
-                 hb_interval=0.05, hb_timeout=None, queue_limit=QUEUE_LIMIT):
+                 hb_interval=0.05, hb_timeout=None, queue_limit=QUEUE_LIMIT,
+                 obs=None):
         self.pid = pid
         self.book = book
         self.initial_view = initial_view
         self.log = recorder
+        self._obs = obs
+        self._ins = None
+        if obs is not None:
+            metrics = obs.metrics
+            base = "runtime.{0}.".format(pid)
+            # Get-or-create: a restarted incarnation keeps accumulating
+            # into the same per-pid series.
+            self._ins = {
+                "frames_out": metrics.counter(base + "transport.frames_out"),
+                "bytes_out": metrics.counter(base + "transport.bytes_out"),
+                "frames_in": metrics.counter(base + "transport.frames_in"),
+                "bytes_in": metrics.counter(base + "transport.bytes_in"),
+                "drops": metrics.counter(base + "transport.drops"),
+                "connects": metrics.counter(base + "transport.reconnects"),
+                "queue_depth": metrics.gauge(base + "transport.queue_depth"),
+                "flaps": metrics.counter(base + "connectivity.flaps"),
+            }
         self._host = host
         self._port = port
         self._hb_interval = hb_interval
@@ -118,12 +144,13 @@ class RuntimeNode:
     async def start(self, clock=None):
         """Bind the listener, publish the address, start links and
         heartbeats.  Must run on the event loop that will own the node."""
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         self._loop = loop
         self.clock = clock if clock is not None else MonotonicClock(loop)
         self._listener = Listener(
             self._on_frame, host=self._host, port=self._port,
             on_error=self.errors.append,
+            on_bytes=self._count_bytes_in if self._ins else None,
         )
         await self._listener.start()
         self.book[self.pid] = (self._host, self._listener.port)
@@ -138,6 +165,7 @@ class RuntimeNode:
             notify=self._on_component,
             interval=self._hb_interval,
             timeout=self._hb_timeout,
+            on_error=self.errors.append,
         )
         self._estimator.start()
         self._started = True
@@ -170,8 +198,22 @@ class RuntimeNode:
                 self.pid, peer,
                 resolve=lambda p=peer: self.book[p],
                 queue_limit=self._queue_limit,
+                on_connect=self._count_connect if self._ins else None,
+                on_drop=self._count_drop if self._ins else None,
+                on_error=self.errors.append,
             ).start()
         return self._links[peer]
+
+    # -- Metric callbacks (no-ops unless ``obs`` was supplied) -------------
+
+    def _count_bytes_in(self, nbytes):
+        self._ins["bytes_in"].inc(nbytes)
+
+    def _count_connect(self, peer):
+        self._ins["connects"].inc()
+
+    def _count_drop(self, peer):
+        self._ins["drops"].inc()
 
     # -- Downcalls from the hosted stack -----------------------------------
 
@@ -187,9 +229,50 @@ class RuntimeNode:
             self.dropped_unroutable += 1
             return
         try:
-            self._ensure_link(dst).send(msg)
+            frame = encode_frame((self.pid, msg))
         except CodecError as exc:
             self.errors.append(exc)
+            return
+        self._send_encoded(dst, msg, frame)
+
+    def _transport_broadcast(self, dsts, msg):
+        """Fan ``msg`` out, encoding the frame *once* for all peers.
+
+        The per-destination ``send`` path used to re-encode the
+        identical ``(pid, msg)`` envelope for every link -- pure waste
+        on the hottest path (every Ordered/SafeNote broadcast and every
+        heartbeat round).  The self-send still short-circuits through
+        the local queue without touching the codec.
+        """
+        if self._stopped:
+            return
+        frame = None
+        for dst in dsts:
+            if dst == self.pid:
+                self._loop.call_soon(self._local_deliver, msg)
+                continue
+            if dst not in self.book:
+                self.dropped_unroutable += 1
+                continue
+            if frame is None:
+                try:
+                    frame = encode_frame((self.pid, msg))
+                except CodecError as exc:
+                    self.errors.append(exc)
+                    return
+            self._send_encoded(dst, msg, frame)
+
+    def _send_encoded(self, dst, msg, frame):
+        link = self._ensure_link(dst)
+        link.send_frame(frame)
+        if self._ins is not None:
+            self._ins["frames_out"].inc()
+            self._ins["bytes_out"].inc(len(frame))
+            self._ins["queue_depth"].set(link.queue_depth())
+        if self._obs is not None:
+            self._obs.wire_event(
+                "wire_send", self.pid, dst, msg, self.clock.now
+            )
 
     def _local_deliver(self, msg):
         if not self._stopped:
@@ -211,8 +294,15 @@ class RuntimeNode:
                 self.errors.append(exc)
 
     def _send_heartbeats(self):
-        for peer in self._peer_ids():
-            self._ensure_link(peer).send(Heartbeat())
+        peers = self._peer_ids()
+        if not peers:
+            return
+        # One beacon encode per round, not per peer (the same
+        # encode-once discipline as _transport_broadcast).
+        beacon = Heartbeat()
+        frame = encode_frame((self.pid, beacon))
+        for peer in peers:
+            self._send_encoded(peer, beacon, frame)
 
     # -- Upcalls from transport and estimator ------------------------------
 
@@ -220,8 +310,14 @@ class RuntimeNode:
         if self._stopped:
             return
         self._estimator.heard(src)
+        if self._ins is not None:
+            self._ins["frames_in"].inc()
         if isinstance(msg, (Hello, Heartbeat)):
             return
+        if self._obs is not None:
+            self._obs.wire_event(
+                "wire_recv", self.pid, src, msg, self.clock.now
+            )
         self._dispatch(src, msg)
 
     def _dispatch(self, src, msg):
@@ -233,6 +329,8 @@ class RuntimeNode:
     def _on_component(self, component):
         if self._stopped:
             return
+        if self._ins is not None:
+            self._ins["flaps"].inc()
         try:
             self.stack.on_connectivity(component)
         except Exception as exc:

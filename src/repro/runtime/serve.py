@@ -55,19 +55,24 @@ def _parse_peers(specs):
 
 
 def run_loopback(processes=3, requests=60, kill=True, hb_interval=0.05,
-                 hb_timeout=0.25, timeout=30.0, echo=print):
+                 hb_timeout=0.25, timeout=30.0, metrics_json=None,
+                 trace_json=None, echo=print):
     """The self-contained demo: N live nodes, a KV workload, one crash.
 
+    ``metrics_json``/``trace_json`` arm the observability layer and
+    write its snapshots to the given paths when the run finishes.
     Returns the number of safety violations (0 on a clean run).
     """
     pids = ["n{0}".format(i + 1) for i in range(processes)]
     victim = pids[-1]
     first = requests // 2 if kill and processes > 2 else requests
+    observe = metrics_json is not None or trace_json is not None
     cluster = RuntimeCluster(
         pids,
         app_factory=lambda node: KvReplica(node.to),
         hb_interval=hb_interval,
         hb_timeout=hb_timeout,
+        obs=True if observe else None,
     )
     with cluster:
         echo("serving {0} nodes on 127.0.0.1 (ports {1})".format(
@@ -101,6 +106,10 @@ def run_loopback(processes=3, requests=60, kill=True, hb_interval=0.05,
                 cluster.call_app(pid, lambda app: app.log_length),
                 cluster.call_app(pid, lambda app: len(app.snapshot())),
             ))
+        if observe:
+            _export_observability(
+                cluster, metrics_json, trace_json, echo
+            )
         violations = cluster.violations
         errors = cluster.errors()
     if errors:
@@ -113,6 +122,27 @@ def run_loopback(processes=3, requests=60, kill=True, hb_interval=0.05,
     echo("safety monitor: {0} requests ordered, no violations".format(
         sent))
     return 0
+
+
+def _export_observability(cluster, metrics_json, trace_json, echo):
+    import json
+
+    trace = cluster.trace_snapshot()
+    echo("tracing: {0} message span(s), {1} view span(s), "
+         "{2} orphan(s)".format(
+             trace["summary"]["messages"], len(trace["views"]),
+             trace["summary"]["orphans"]))
+    if metrics_json:
+        snapshot = cluster.obs_snapshot()
+        with open(metrics_json, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        echo("metrics snapshot written to {0}".format(metrics_json))
+    if trace_json:
+        with open(trace_json, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        echo("trace JSON written to {0}".format(trace_json))
 
 
 def _drive(cluster, pids, start, count, timeout):
@@ -212,4 +242,6 @@ def cmd_serve(args):
         hb_interval=args.hb_interval,
         hb_timeout=args.hb_timeout or 0.25,
         timeout=args.timeout,
+        metrics_json=getattr(args, "metrics_json", None),
+        trace_json=getattr(args, "trace_json", None),
     )

@@ -14,6 +14,15 @@ frame queued while the peer is down is flushed on reconnect, the oldest
 frames are dropped when the queue is full, and anything in flight when a
 connection dies is simply lost.  The layers above (membership, ordering,
 recovery) were built for exactly that adversary, so none of them change.
+
+Backoff semantics: a *successful connect does not reset the backoff*.
+TCP accept proves only that the peer's listener queue took the SYN -- a
+crash-looping peer (or a half-open listener) accepts and instantly dies,
+and resetting on accept would turn every such peer into a tight redial
+loop at ``retry_min``.  The backoff resets to ``retry_min`` only once
+the connection has *survived* ``stable_after`` seconds (default:
+``retry_max``); until then each dial, successful or not, keeps growing
+the delay toward ``retry_max``.
 """
 
 import asyncio
@@ -43,13 +52,23 @@ class PeerLink:
     """
 
     def __init__(self, local_pid, peer_pid, resolve,
-                 queue_limit=QUEUE_LIMIT, retry_min=0.05, retry_max=1.0):
+                 queue_limit=QUEUE_LIMIT, retry_min=0.05, retry_max=1.0,
+                 stable_after=None, on_connect=None, on_drop=None,
+                 on_error=None):
         self.local_pid = local_pid
         self.peer_pid = peer_pid
         self._resolve = resolve
         self._queue_limit = queue_limit
         self._retry_min = retry_min
         self._retry_max = retry_max
+        # A connection is "healthy" (and resets the backoff) only after
+        # surviving this long -- see the module docstring.
+        self._stable_after = (
+            retry_max if stable_after is None else stable_after
+        )
+        self._on_connect = on_connect
+        self._on_drop = on_drop
+        self._on_error = on_error
         # Backoff jitter avoids N nodes hammering a rebooting peer in
         # lockstep; real-transport entropy is fine here (DESIGN.md §9).
         self._jitter = random.Random()  # lint: ignore[DVS007]
@@ -67,19 +86,37 @@ class PeerLink:
         return self
 
     def send(self, msg):
-        """Queue ``msg`` for the peer (fair-lossy: full queue drops the
-        oldest frame, a closed link drops silently)."""
+        """Encode and queue ``msg`` for the peer (fair-lossy: full queue
+        drops the oldest frame, a closed link drops silently)."""
         if self._closed or self._queue is None:
-            self.dropped += 1
+            self._drop()
             return
-        frame = encode_frame((self.local_pid, msg))
+        self.send_frame(encode_frame((self.local_pid, msg)))
+
+    def send_frame(self, frame):
+        """Queue an already-encoded frame.  This is the fan-out path:
+        a broadcast encodes its frame once and hands the same bytes to
+        every link instead of re-encoding per destination."""
+        if self._closed or self._queue is None:
+            self._drop()
+            return
         if self._queue.full():
             self._queue.get_nowait()
-            self.dropped += 1
+            self._drop()
         self._queue.put_nowait(frame)
+
+    def _drop(self):
+        self.dropped += 1
+        if self._on_drop is not None:
+            self._on_drop(self.peer_pid)
+
+    def queue_depth(self):
+        """Frames currently waiting in the outbound queue."""
+        return self._queue.qsize() if self._queue is not None else 0
 
     async def _run(self):
         backoff = self._retry_min
+        loop = asyncio.get_running_loop()
         while not self._closed:
             try:
                 host, port = self._resolve()
@@ -90,8 +127,10 @@ class PeerLink:
                 )
                 backoff = min(backoff * 2, self._retry_max)
                 continue
-            backoff = self._retry_min
             self.connects += 1
+            if self._on_connect is not None:
+                self._on_connect(self.peer_pid)
+            connected_at = loop.time()
             try:
                 writer.write(
                     encode_frame((self.local_pid, Hello(self.local_pid)))
@@ -102,14 +141,35 @@ class PeerLink:
                     writer.write(frame)
                     await writer.drain()
                     self.sent += 1
+                    # drain() returning proves nothing about peer
+                    # receipt (the kernel buffers); only surviving a
+                    # stable interval marks the link healthy.
+                    if (
+                        backoff != self._retry_min
+                        and loop.time() - connected_at
+                        >= self._stable_after
+                    ):
+                        backoff = self._retry_min
             except (OSError, ConnectionError):
-                pass  # the peer went away; reconnect with fresh backoff
+                pass  # the peer went away; reconnect below
             finally:
                 writer.close()
                 try:
                     await writer.wait_closed()
                 except (OSError, ConnectionError):
                     pass
+            if self._closed:
+                return
+            if loop.time() - connected_at >= self._stable_after:
+                backoff = self._retry_min
+            else:
+                # The connection died young (crash-looping peer,
+                # half-open listener): keep backing off so the redial
+                # rate stays bounded.
+                await asyncio.sleep(
+                    backoff * (1.0 + self._jitter.random())
+                )
+                backoff = min(backoff * 2, self._retry_max)
 
     async def close(self):
         self._closed = True
@@ -117,8 +177,15 @@ class PeerLink:
             self._task.cancel()
             try:
                 await self._task
-            except (asyncio.CancelledError, Exception):
+            except asyncio.CancelledError:
                 pass
+            except Exception as exc:
+                # A real teardown error must surface, not vanish into a
+                # dead except arm (CancelledError is a BaseException).
+                if self._on_error is not None:
+                    self._on_error(exc)
+                else:
+                    raise
 
 
 class Listener:
@@ -133,15 +200,18 @@ class Listener:
     ``on_error(exc)``.
     """
 
-    def __init__(self, on_frame, host="127.0.0.1", port=0, on_error=None):
+    def __init__(self, on_frame, host="127.0.0.1", port=0, on_error=None,
+                 on_bytes=None):
         self._on_frame = on_frame
         self._on_error = on_error
+        self._on_bytes = on_bytes
         self.host = host
         self.port = port
         self._server = None
         self._writers = set()
         self.accepted = 0
         self.rejected = 0
+        self.bytes_in = 0
 
     async def start(self):
         self._server = await asyncio.start_server(
@@ -160,6 +230,9 @@ class Listener:
                 data = await reader.read(_READ_CHUNK)
                 if not data:
                     return
+                self.bytes_in += len(data)
+                if self._on_bytes is not None:
+                    self._on_bytes(len(data))
                 try:
                     frames = decoder.feed(data)
                 except CodecError:

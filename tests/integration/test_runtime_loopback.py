@@ -24,6 +24,7 @@ def cluster():
         app_factory=lambda node: KvReplica(node.to),
         hb_interval=0.05,
         hb_timeout=0.25,
+        obs=True,
     )
     with c:
         yield c
@@ -94,6 +95,15 @@ def test_200_requests_with_crash_and_rejoin(cluster):
     }
     assert snaps["n1"] == snaps["n2"] == snaps["n3"]
     assert len(snaps["n1"]) == 16
+
+    # Observability rides along: every span stitched across crash,
+    # reformation and rejoin still finds its to_label root.
+    trace = cluster.trace_snapshot()
+    assert trace["orphans"] == []
+    assert trace["summary"]["events_dropped"] == 0
+    assert trace["summary"]["deliveries"] > 0
+    # The crash/reformation/rejoin produced observable view spans.
+    assert len(trace["views"]) >= 2
 
 
 def test_formation_and_steady_traffic(cluster):

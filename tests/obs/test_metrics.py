@@ -1,0 +1,85 @@
+"""Unit tests for the metrics registry: counters, gauges and the
+log-bucketed histogram's bucket arithmetic."""
+
+import json
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+def test_counter_and_gauge_snapshots():
+    registry = MetricsRegistry()
+    counter = registry.counter("a.count")
+    counter.inc()
+    counter.inc(4)
+    gauge = registry.gauge("a.depth")
+    gauge.set(3)
+    gauge.set(7)
+    gauge.set(2)
+    snap = registry.snapshot()
+    assert snap["a.count"] == {"type": "counter", "value": 5}
+    assert snap["a.depth"] == {"type": "gauge", "value": 2, "high": 7}
+
+
+def test_registry_get_or_create_and_kind_clash():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert len(registry) == 1
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_histogram_bucket_index_boundaries():
+    h = Histogram(base=1.0)
+    # Bucket 0 covers [0, base]; bucket i covers (base*2**(i-1), base*2**i].
+    assert h.bucket_index(0.0) == 0
+    assert h.bucket_index(1.0) == 0
+    assert h.bucket_index(1.0000001) == 1
+    assert h.bucket_index(2.0) == 1
+    assert h.bucket_index(2.0000001) == 2
+    assert h.bucket_index(4.0) == 2
+    # Exact powers of two must not fall one bucket low to float noise.
+    for exp in range(1, 40):
+        assert h.bucket_index(2.0 ** exp) == exp
+    assert h.bucket_bound(3) == 8.0
+
+
+def test_histogram_percentiles_are_bucket_upper_bounds():
+    h = Histogram(base=1.0)
+    for value in [0.5, 1.5, 1.6, 3.0, 3.5, 3.9, 7.0, 7.5, 100.0]:
+        h.observe(value)
+    # Buckets: b0 holds 1, b1 holds 2, b2 holds 3, b3 holds 2,
+    # b7 holds 1 (total 9).
+    assert h.percentile(0.50) == 4.0  # 5th of 9 lands in bucket 2
+    assert h.percentile(0.95) == 128.0
+    assert h.count == 9
+    assert h.min == 0.5 and h.max == 100.0
+    assert h.mean == pytest.approx(sum(
+        [0.5, 1.5, 1.6, 3.0, 3.5, 3.9, 7.0, 7.5, 100.0]) / 9)
+
+
+def test_histogram_empty_and_negative_samples():
+    h = Histogram()
+    assert h.percentile(0.5) is None
+    assert h.mean is None
+    h.observe(-1.0)  # clamped to zero, not a crash
+    assert h.min == 0.0
+    assert h.percentile(0.5) == h.base
+
+
+def test_snapshot_is_json_ready_and_deterministic():
+    def build():
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc(2)
+        registry.counter("a.first").inc(1)
+        h = registry.histogram("m.lat", base=1e-6)
+        for value in [1e-6, 5e-6, 2e-3]:
+            h.observe(value)
+        return registry
+
+    first, second = build(), build()
+    assert first.to_json() == second.to_json()
+    decoded = json.loads(first.to_json())
+    assert list(decoded) == sorted(decoded)
+    assert decoded["m.lat"]["count"] == 3

@@ -1,0 +1,143 @@
+"""Unit tests for the span ring and the tracer's stitching logic, on
+hand-built event sequences (no cluster)."""
+
+from repro.core.viewids import ViewId
+from repro.gcs.messages import Data, Ordered
+from repro.obs import SpanEvent, SpanRing, Tracer
+from repro.to.summaries import Label
+
+VID = ViewId(1, "p1")
+LABEL = Label(VID, 1, "p1")
+
+
+def _event(seq, stage="to_label", pid="p1", t=0.0):
+    return SpanEvent(key=("msg", LABEL), stage=stage, pid=pid, t=t,
+                     seq=seq)
+
+
+def test_ring_keeps_everything_below_capacity():
+    ring = SpanRing(capacity=8)
+    events = [_event(i) for i in range(5)]
+    for event in events:
+        ring.append(event)
+    assert len(ring) == 5
+    assert ring.dropped == 0
+    assert ring.snapshot() == events
+
+
+def test_ring_overflow_overwrites_oldest_and_counts_drops():
+    ring = SpanRing(capacity=4)
+    events = [_event(i) for i in range(10)]
+    for event in events:
+        ring.append(event)
+    assert ring.appended == 10
+    assert len(ring) == 4
+    assert ring.dropped == 6
+    # The live window is the newest four, oldest first.
+    assert ring.snapshot() == events[6:]
+
+
+def test_ring_rejects_nonpositive_capacity():
+    import pytest
+
+    with pytest.raises(ValueError):
+        SpanRing(capacity=0)
+
+
+def _feed_full_span(tracer, dst="p3"):
+    """Emit one complete broadcast span for LABEL: origin p1 forwards
+    Data to sequencer p2, which orders it for ``dst``."""
+    payload = (LABEL, "hello")
+    tracer.on_action(1.0, "to_label", (LABEL, "p1"))
+    tracer.on_action(2.0, "dvs_gpsnd", (payload, "p1"))
+    tracer.on_action(3.0, "vs_gpsnd", (payload, "p1"))
+    data = Data(VID, payload, "p1")
+    ordered = Ordered(VID, 1, payload, "p2")
+    tracer.wire_event("wire_send", "p1", "p2", data, 4.0)
+    tracer.wire_event("wire_recv", "p2", "p1", data, 6.0)
+    tracer.on_action(7.0, "vs_seq", (payload, "p2"))
+    tracer.wire_event("wire_send", "p2", dst, ordered, 8.0)
+    tracer.wire_event("wire_recv", dst, "p2", ordered, 11.0)
+    tracer.on_action(12.0, "vs_gprcv", (payload, "p1", dst))
+    tracer.on_action(13.0, "dvs_gprcv", (payload, "p1", dst))
+    tracer.on_action(15.0, "to_deliver", (LABEL, dst))
+
+
+def test_tracer_stitches_one_delivery_with_exact_stage_sum():
+    tracer = Tracer()
+    _feed_full_span(tracer, "p3")
+    rows = tracer.deliveries()
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["label"] == LABEL
+    assert row["origin"] == "p1"
+    assert row["dst"] == "p3"
+    assert row["total"] == 14.0
+    # to: label->dvs_send (1) + dvs_deliver->deliver (2) = 3
+    # dvs: dvs_send->vs_send (1) + vs_deliver->dvs_deliver (1) = 2
+    # wire: both hops (2 + 3) = 5; vs is the exact residual.
+    assert row["stages"]["to"] == 3.0
+    assert row["stages"]["dvs"] == 2.0
+    assert row["stages"]["wire"] == 5.0
+    assert row["stages"]["vs"] == 4.0
+    assert sum(row["stages"].values()) == row["total"]
+    assert tracer.orphans() == []
+
+
+def test_tracer_flags_orphan_deliveries():
+    tracer = Tracer()
+    # A delivery with no to_label root (its origin's ring was lost).
+    tracer.on_action(5.0, "to_deliver", (LABEL, "p3"))
+    assert tracer.orphans() == [(LABEL, "p3")]
+    assert tracer.deliveries() == []
+    summary = tracer.stage_summary()
+    assert summary["orphans"] == 1
+    assert summary["deliveries"] == 0
+
+
+def test_tracer_untraced_wire_messages_are_ignored():
+    from repro.runtime.codec import Heartbeat
+
+    tracer = Tracer()
+    tracer.wire_event("wire_send", "p1", "p2", Heartbeat(), 1.0)
+    tracer.wire_event("wire_send", "p1", "p2", object(), 1.0)
+    assert tracer.events() == []
+
+
+def test_view_span_links_round_via_vs_form():
+    tracer = Tracer()
+    round_id = ("p1", 7)
+    tracer.on_action(1.0, "vs_round", (round_id, "p1"))
+    tracer.on_action(2.0, "vs_form", (round_id, VID, "p1"))
+    tracer.on_action(3.0, "vs_newview", (_FakeView(VID), "p1"))
+    tracer.on_action(4.0, "dvs_newview", (_FakeView(VID), "p1"))
+    tracer.on_action(5.0, "to_established", (VID, "p1"))
+    tracer.on_action(6.0, "dvs_register_view", (VID, "p1"))
+    spans = tracer.view_spans()
+    assert len(spans) == 1
+    span = spans[0]
+    assert span["view"] == VID
+    assert span["round"] == round_id
+    assert span["established_at"] == ["p1"]
+    # vs_round is pulled in through the vs_form linkage, so the span
+    # covers connectivity-change -> REGISTER.
+    assert span["stages"]["vs_round"] == 1.0
+    assert span["stages"]["dvs_register"] == 6.0
+    assert span["duration"] == 5.0
+
+
+class _FakeView:
+    def __init__(self, vid):
+        self.id = vid
+
+
+def test_to_json_dict_is_json_serializable():
+    import json
+
+    tracer = Tracer()
+    _feed_full_span(tracer)
+    data = tracer.to_json_dict()
+    encoded = json.dumps(data, sort_keys=True)
+    assert "stages_ms" in encoded
+    assert data["summary"]["deliveries"] == 1
+    assert data["deliveries"][0]["total_ms"] == 14000.0

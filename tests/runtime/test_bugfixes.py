@@ -1,0 +1,314 @@
+"""Regression tests for the runtime hot-path fixes.
+
+Each test pins one specific bug:
+
+1. reconnect storm -- a crash-looping peer must see a *bounded* dial
+   rate (backoff may not reset on a connect that dies young);
+2. deprecated ``asyncio.get_event_loop()`` inside coroutines;
+3. broadcast fan-out re-encoding the identical frame once per link;
+4. ``except (CancelledError, Exception)`` swallowing real teardown
+   errors (the second arm was dead: CancelledError isn't an Exception);
+5. the heartbeat estimator never pruning ``_last_heard`` evidence for
+   peers removed from the address book.
+"""
+
+import asyncio
+import pathlib
+import warnings
+
+import pytest
+
+import repro.runtime
+import repro.runtime.node
+from repro.core.viewids import ViewId
+from repro.core.views import View
+from repro.runtime.heartbeat import ConnectivityEstimator
+from repro.runtime.node import RuntimeNode
+from repro.runtime.transport import PeerLink
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 30.0))
+
+
+class StubClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+# -- 1. reconnect storm ------------------------------------------------------
+
+
+def test_backoff_keeps_growing_against_a_crash_looping_peer():
+    """An accept-then-die peer used to reset the backoff on every
+    successful connect, turning the link into a tight redial loop."""
+
+    async def scenario():
+        accepts = []
+
+        async def slam(reader, writer):
+            accepts.append(1)
+            writer.close()
+
+        server = await asyncio.start_server(slam, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        link = PeerLink(
+            "a", "b", resolve=lambda: ("127.0.0.1", port),
+            retry_min=0.02, retry_max=0.2,
+        ).start()
+
+        async def pump():
+            # Keep frames flowing so a dead connection is noticed at
+            # the next write instead of blocking on an empty queue.
+            while True:
+                link.send(("tick", len(accepts)))
+                await asyncio.sleep(0.005)
+
+        pump_task = asyncio.ensure_future(pump())
+        await asyncio.sleep(0.9)
+        pump_task.cancel()
+        connects = link.connects
+        await link.close()
+        server.close()
+        await server.wait_closed()
+        # Zero-jitter minimum backoff schedule within 0.9s:
+        # 0.02+0.04+0.08+0.16+0.2+0.2+0.2 -- at most ~8 dials.  The
+        # pre-fix reset-on-connect behaviour redials every ~0.02-0.04s
+        # (25+ dials); anything near that is the storm coming back.
+        assert 1 <= connects <= 10, connects
+
+    run(scenario())
+
+
+def test_backoff_resets_after_a_stable_connection():
+    """The flip side: a connection that *survives* ``stable_after``
+    returns the link to fast retries, so a genuinely recovered peer is
+    not punished with ``retry_max`` delays on the next blip."""
+
+    async def scenario():
+        frames = []
+
+        async def accept(reader, writer):
+            try:
+                while await reader.read(1 << 16):
+                    frames.append(1)
+            finally:
+                writer.close()
+
+        server = await asyncio.start_server(accept, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        link = PeerLink(
+            "a", "b", resolve=lambda: ("127.0.0.1", port),
+            retry_min=0.02, retry_max=0.2, stable_after=0.05,
+        ).start()
+        link.send(("warm", 0))
+        await asyncio.sleep(0.2)  # well past stable_after
+        assert link.connects == 1
+        await link.close()
+        server.close()
+        await server.wait_closed()
+
+    run(scenario())
+
+
+# -- 2. get_event_loop deprecation -------------------------------------------
+
+
+def test_runtime_package_never_calls_get_event_loop():
+    """``asyncio.get_event_loop()`` inside a coroutine is deprecated
+    (and wrong once loops stop being auto-created): the runtime package
+    must use ``get_running_loop()``."""
+    package_dir = pathlib.Path(repro.runtime.__file__).parent
+    offenders = [
+        path.name
+        for path in sorted(package_dir.glob("*.py"))
+        if "get_event_loop" in path.read_text(encoding="utf-8")
+    ]
+    assert offenders == []
+
+
+def test_node_start_emits_no_deprecation_warnings():
+    async def scenario():
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            book = {}
+            view = View(ViewId(0, ""), frozenset(["a"]))
+            node = RuntimeNode("a", book, initial_view=view)
+            await node.start()
+            await node.stop()
+
+    run(scenario())
+
+
+# -- 3. encode-once broadcast fan-out ----------------------------------------
+
+
+@pytest.fixture
+def counted_codec(monkeypatch):
+    calls = []
+    real = repro.runtime.node.encode_frame
+
+    def counting(envelope):
+        calls.append(envelope)
+        return real(envelope)
+
+    monkeypatch.setattr(repro.runtime.node, "encode_frame", counting)
+    return calls
+
+
+def test_broadcast_encodes_the_frame_once_for_all_peers(counted_codec):
+    async def scenario():
+        pids = ["a", "b", "c", "d"]
+        view = View(ViewId(0, ""), frozenset(pids))
+        book = {}
+        node = RuntimeNode("a", book, initial_view=view)
+        await node.start()
+        # Dead-end peer entries: links queue while dialing fails, which
+        # is all the encode path needs.
+        for peer in ["b", "c", "d"]:
+            book[peer] = ("127.0.0.1", 1)
+        counted_codec.clear()
+        node._transport_broadcast(pids, ("payload", 42))
+        fanout = [e for e in counted_codec if e[1] == ("payload", 42)]
+        assert len(fanout) == 1  # one encode for b, c, d (self is local)
+        counted_codec.clear()
+        node._send_heartbeats()
+        assert len(counted_codec) == 1  # one beacon encode per round
+        await node.stop()
+
+    run(scenario())
+
+
+def test_unicast_send_still_encodes_per_message(counted_codec):
+    async def scenario():
+        view = View(ViewId(0, ""), frozenset(["a", "b"]))
+        book = {"b": ("127.0.0.1", 1)}
+        node = RuntimeNode("a", book, initial_view=view)
+        await node.start()
+        counted_codec.clear()
+        node._transport_send("b", ("one", 1))
+        node._transport_send("b", ("two", 2))
+        assert len(counted_codec) == 2
+        await node.stop()
+
+    run(scenario())
+
+
+# -- 4. CancelledError vs Exception in teardown ------------------------------
+
+
+def _task_raising_on_cancel():
+    async def victim():
+        try:
+            await asyncio.sleep(60)
+        except asyncio.CancelledError:
+            raise RuntimeError("teardown bug")
+
+    return asyncio.ensure_future(victim())
+
+
+def test_link_close_routes_teardown_errors_to_on_error():
+    async def scenario():
+        errors = []
+        link = PeerLink(
+            "a", "b", resolve=lambda: ("127.0.0.1", 1),
+            on_error=errors.append,
+        )
+        link._task = _task_raising_on_cancel()
+        await asyncio.sleep(0)
+        await link.close()
+        assert [type(e) for e in errors] == [RuntimeError]
+
+    run(scenario())
+
+
+def test_link_close_raises_without_an_error_sink():
+    async def scenario():
+        link = PeerLink("a", "b", resolve=lambda: ("127.0.0.1", 1))
+        link._task = _task_raising_on_cancel()
+        await asyncio.sleep(0)
+        # Pre-fix, `except (CancelledError, Exception)` silently ate
+        # this; a real teardown error must surface somewhere.
+        with pytest.raises(RuntimeError):
+            await link.close()
+
+    run(scenario())
+
+
+def test_estimator_stop_routes_teardown_errors_to_on_error():
+    async def scenario():
+        errors = []
+        est = ConnectivityEstimator(
+            "a", peers=lambda: [], clock=StubClock(),
+            send_heartbeats=lambda: None, notify=lambda c: None,
+            on_error=errors.append,
+        )
+        est._task = _task_raising_on_cancel()
+        await asyncio.sleep(0)
+        await est.stop()
+        assert [type(e) for e in errors] == [RuntimeError]
+
+    run(scenario())
+
+
+def test_cancelled_teardown_stays_silent():
+    async def scenario():
+        errors = []
+        link = PeerLink(
+            "a", "b", resolve=lambda: ("127.0.0.1", 1),
+            on_error=errors.append,
+        ).start()
+        await link.close()  # plain cancellation: not an error
+        assert errors == []
+
+    run(scenario())
+
+
+# -- 5. heartbeat evidence pruning -------------------------------------------
+
+
+def test_estimator_prunes_evidence_for_removed_peers():
+    clock = StubClock()
+    book = ["b", "c"]
+    reports = []
+    est = ConnectivityEstimator(
+        "a", peers=lambda: list(book), clock=clock,
+        send_heartbeats=lambda: None, notify=reports.append,
+        interval=0.05, timeout=0.2, grace=0.0,
+    )
+    est.heard("b")
+    est.heard("c")
+    assert est.poll() == frozenset(["a", "b", "c"])
+
+    # The book shrinks: evidence for the removed peer must go with it.
+    book.remove("b")
+    clock.now = 0.1
+    assert est.poll() == frozenset(["a", "c"])
+    assert "b" not in est._last_heard
+
+    # Re-adding the peer inside the old horizon must NOT resurrect it
+    # from stale timestamps: it has to prove itself alive again.
+    book.append("b")
+    clock.now = 0.15
+    assert est.poll() == frozenset(["a", "c"])
+    est.heard("b")
+    assert est.poll() == frozenset(["a", "b", "c"])
+    assert reports[-1] == frozenset(["a", "b", "c"])
+
+
+def test_estimator_evidence_map_stays_bounded_over_churn():
+    clock = StubClock()
+    book = []
+    est = ConnectivityEstimator(
+        "a", peers=lambda: list(book), clock=clock,
+        send_heartbeats=lambda: None, notify=lambda c: None,
+        grace=0.0,
+    )
+    for generation in range(50):
+        peer = "peer-{0}".format(generation)
+        book[:] = [peer]
+        est.heard(peer)
+        clock.now += 1.0
+        est.poll()
+    # Pre-fix this held all 50 dead generations forever.
+    assert set(est._last_heard) == {"peer-49"}
