@@ -1,0 +1,82 @@
+"""E12 -- replay benchmark: deterministic re-execution of a recorded
+live run.
+
+A short live chaos run (3 nodes, partition + jitter + loss on loopback
+TCP) is recorded once; the benchmarks then measure the offline half of
+the pipeline: trace serialization (the length-prefixed frame codec) and
+full deterministic replay through the unchanged layer stack under a
+fresh safety monitor.  Replay cost is what bounds the ddmin shrinker
+(each probe is one replay), so events/second here is the practical
+budget for minimizing a violating live trace.
+"""
+
+from repro.analysis import render_table
+from repro.checking.replay import replay_trace
+from repro.faults.nemesis import NemesisPlan
+from repro.obs.record import ReplayTrace
+from repro.runtime.chaos import run_live_chaos
+
+PROCS = ["n1", "n2", "n3"]
+
+#: Recorded once, replayed many times (the whole point of the format).
+_CACHE = {}
+
+
+def _trace():
+    if "trace" not in _CACHE:
+        plan = NemesisPlan([
+            (0.5, "delay", (None, 0.02, 0.05, 0.05, 3.0)),
+            (0.5, "drop", (None, 0.03, 3.0)),
+            (1.0, "partition", ((("n1", "n2"), ("n3",)),)),
+            (2.5, "heal", ()),
+        ])
+        result = run_live_chaos(
+            PROCS, plan=plan, duration=5.0, broadcast_interval=0.1,
+            settle_time=1.5,
+        )
+        assert result.ok
+        _CACHE["trace"] = result.trace
+        _CACHE["stats"] = result.stats
+    return _CACHE["trace"]
+
+
+def test_bench_replay(benchmark):
+    trace = _trace()
+    result = benchmark(replay_trace, trace)
+    assert result.ok
+    assert result.stats["events"] == len(trace)
+
+
+def test_bench_trace_encode(benchmark):
+    trace = _trace()
+    data = benchmark(trace.to_bytes)
+    assert len(data) > 0
+
+
+def test_bench_trace_decode(benchmark):
+    data = _trace().to_bytes()
+    again = benchmark(ReplayTrace.from_bytes, data)
+    assert again == _trace()
+
+
+def test_bench_replay_report(benchmark):
+    trace = _trace()
+    result = benchmark(replay_trace, trace)
+    size = len(trace.to_bytes())
+    print()
+    print(
+        render_table(
+            ["events", "bytes", "bytes/event", "dispatched", "actions",
+             "deliveries"],
+            [[
+                len(trace),
+                size,
+                "{0:.0f}".format(size / max(len(trace), 1)),
+                result.stats["dispatched"],
+                result.stats["actions"],
+                result.stats["deliveries"],
+            ]],
+            title="E12: recorded live trace, replayed deterministically",
+        )
+    )
+    assert result.digest == replay_trace(trace).digest

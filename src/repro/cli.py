@@ -14,9 +14,16 @@ isis
     Search DVS executions for a violation of the Isis same-messages
     property (expected to exist: DVS is weaker by design).
 chaos
-    Run the full simulated stack under a seeded nemesis fault plan with
-    the online safety monitor armed; on a violation, delta-debug the
-    plan down to a minimal replayable counterexample.
+    Run the full stack under a seeded nemesis fault plan with the
+    online safety monitor armed -- simulated by default, ``--live`` for
+    a real-TCP loopback cluster recording a replayable trace; on a
+    violation, delta-debug the plan (sim) or the recorded trace (live)
+    down to a minimal replayable counterexample.
+replay
+    Feed a trace recorded by ``chaos --live --record`` through the
+    deterministic layer stack under the safety monitor; two replays of
+    one trace are byte-identical, and ``--shrink`` minimizes a
+    violating trace with ddmin.
 lint
     Statically check the tree: automaton well-formedness
     (pre_/eff_/cand_ contract, predicate purity), determinism
@@ -198,7 +205,7 @@ def _cmd_isis(args):
     return 0
 
 
-def _build_chaos_plan(args, procs):
+def _build_chaos_plan(args, procs, duration):
     from repro.faults import (
         NemesisPlan,
         bridge_topology,
@@ -210,7 +217,14 @@ def _build_chaos_plan(args, procs):
 
     if args.plan_json:
         return NemesisPlan.from_json(args.plan_json)
-    window = dict(start=10.0, duration=args.duration - 60.0)
+    if args.live:
+        # Live times are wall-clock seconds: faults start once the
+        # cluster has had a moment to form and end before the settle.
+        window = dict(start=2.0, duration=max(duration - 4.0, 1.0))
+        bridge_at, bridge_len = 2.0, max(duration - 4.0, 1.0)
+    else:
+        window = dict(start=10.0, duration=duration - 60.0)
+        bridge_at, bridge_len = 10.0, duration - 60.0
     builders = {
         "storm": lambda: crash_recovery_storm(procs, seed=args.seed,
                                               **window),
@@ -220,8 +234,8 @@ def _build_chaos_plan(args, procs):
             procs[: len(procs) // 2],
             procs[len(procs) // 2:],
             procs[0],
-            at=10.0,
-            duration=args.duration - 60.0,
+            at=bridge_at,
+            duration=bridge_len,
         ),
     }
     if args.plan == "mixed":
@@ -229,23 +243,61 @@ def _build_chaos_plan(args, procs):
     return builders[args.plan]()
 
 
-def _cmd_chaos(args):
-    from repro.faults import run_chaos
-    from repro.faults.harness import find_and_shrink
+def _chaos_flag_errors(args):
+    """Live-only/sim-only flag conflicts, as human-readable messages."""
+    errors = []
+    if args.live:
+        if args.log_limit is not None:
+            errors.append(
+                "--log-limit applies to simulated runs only (the live "
+                "monitor keeps the full action log)"
+            )
+    else:
+        for value, flag, why in (
+            (args.record, "--record",
+             "simulated runs replay exactly from (seed, plan); only "
+             "live runs need a recorded trace"),
+            (args.hb_interval, "--hb-interval",
+             "the simulator uses a connectivity oracle, not heartbeats"),
+            (args.hb_timeout, "--hb-timeout",
+             "the simulator uses a connectivity oracle, not heartbeats"),
+        ):
+            if value is not None:
+                errors.append(
+                    "{0} requires --live ({1})".format(flag, why)
+                )
+    return errors
 
+
+def _cmd_chaos(args):
+    errors = _chaos_flag_errors(args)
+    if errors:
+        args._chaos_parser.error("; ".join(errors))
+    duration = args.duration
+    if duration is None:
+        duration = 12.0 if args.live else 240.0
+    interval = args.interval
+    if interval is None:
+        interval = 0.25 if args.live else 8.0
     procs = ["p{0}".format(i) for i in range(1, args.processes + 1)]
-    plan = _build_chaos_plan(args, procs)
+    plan = _build_chaos_plan(args, procs, duration)
     dvs_factory = None
     if args.broken:
         from repro.dvs.ablation import NoMajorityDvsLayer
 
         dvs_factory = NoMajorityDvsLayer
+    if args.live:
+        return _cmd_chaos_live(args, procs, plan, dvs_factory, duration,
+                               interval)
+    from repro.faults import run_chaos
+    from repro.faults.harness import find_and_shrink
+
     result = run_chaos(
         procs,
         seed=args.seed,
         plan=plan,
-        duration=args.duration,
-        broadcast_interval=args.interval,
+        duration=duration,
+        broadcast_interval=interval,
         dvs_factory=dvs_factory,
         log_limit=args.log_limit,
     )
@@ -269,13 +321,132 @@ def _cmd_chaos(args):
     repro_case = find_and_shrink(
         result,
         max_probes=args.max_probes,
-        duration=args.duration,
-        broadcast_interval=args.interval,
+        duration=duration,
+        broadcast_interval=interval,
         dvs_factory=dvs_factory,
     )
     if dvs_factory is not None:
         repro_case.extra_args["broken"] = True
     print(repro_case.describe())
+    return 1
+
+
+def _cmd_chaos_live(args, procs, plan, dvs_factory, duration, interval):
+    from repro.runtime.chaos import run_live_chaos
+
+    result = run_live_chaos(
+        procs,
+        plan=plan,
+        duration=duration,
+        broadcast_interval=interval,
+        dvs_factory=dvs_factory,
+        hb_interval=(
+            0.05 if args.hb_interval is None else args.hb_interval
+        ),
+        hb_timeout=(
+            0.25 if args.hb_timeout is None else args.hb_timeout
+        ),
+        fault_seed=args.seed,
+    )
+    print("chaos --live: {0} processes on loopback TCP, {1} fault ops, "
+          "{2:.1f}s".format(len(procs), len(plan), duration))
+    for key in ("attempted_views", "broadcasts", "deliveries",
+                "workload_bcasts", "trace_events", "violations"):
+        if key in result.stats:
+            print("  {0}: {1}".format(key, result.stats[key]))
+    faultnet = result.stats.get("faultnet", {})
+    for key in ("injected_drops", "injected_copies", "delayed_sends",
+                "blocked_recvs"):
+        if key in faultnet:
+            print("  faultnet.{0}: {1}".format(key, faultnet[key]))
+    if args.record:
+        result.trace.save(args.record)
+        print("trace recorded to {0} ({1} events); replay with: "
+              "python -m repro replay {0}".format(
+                  args.record, len(result.trace)))
+    if result.ok:
+        print("no safety violations: DVS 4.1 intersection and TO "
+              "prefix-consistency held throughout")
+        return 0
+    print()
+    print("SAFETY VIOLATION: {0}".format(result.violations[0].summary()))
+    from repro.checking.replay import replay_trace, shrink_replay
+
+    replayed = replay_trace(result.trace)
+    if replayed.ok:
+        print("deterministic replay did NOT reproduce the violation -- "
+              "the recording cut missed an input (file a bug)")
+        return 1
+    print("deterministic replay reproduces it: {0}".format(
+        replayed.violations[0].summary()))
+    if args.no_shrink:
+        return 1
+    print("shrinking the trace (delta debugging)...")
+    minimal, probes, final = shrink_replay(
+        result.trace, max_probes=args.max_probes,
+        prop=replayed.violations[0].prop,
+    )
+    print("minimal counterexample: {0} of {1} events ({2} probes)".format(
+        len(minimal), len(result.trace), probes))
+    print(minimal.describe(limit=40))
+    print("violation: {0}".format(final.violations[0].summary()))
+    if args.record:
+        path = args.record + ".min"
+        minimal.save(path)
+        print("minimal trace written to {0}; replay: "
+              "python -m repro replay {0}".format(path))
+    return 1
+
+
+def _cmd_replay(args):
+    from repro.obs.record import ReplayTrace, TraceError
+
+    try:
+        trace = ReplayTrace.load(args.trace)
+    except TraceError as exc:
+        print("cannot load trace: {0}".format(exc))
+        return 2
+    except OSError as exc:
+        print("cannot read {0}: {1}".format(args.trace, exc))
+        return 2
+    from repro.checking.replay import (
+        check_replay_determinism,
+        replay_trace,
+        shrink_replay,
+    )
+
+    result = replay_trace(trace)
+    print("replay: {0} events over {1} processes "
+          "(dvs={2}, source={3})".format(
+              len(trace), len(trace.processes), trace.dvs, trace.source))
+    for key in ("dispatched", "skipped", "attempted_views", "deliveries",
+                "violations", "layer_errors"):
+        if key in result.stats:
+            print("  {0}: {1}".format(key, result.stats[key]))
+    print("replay digest: {0}".format(result.digest))
+    if args.check_determinism:
+        check_replay_determinism(trace)
+        print("determinism: two replays produced identical digests "
+              "and delivery orders")
+    if result.ok:
+        print("no safety violations on replay")
+        return 0
+    print()
+    print("SAFETY VIOLATION: {0}".format(result.violations[0].summary()))
+    if not args.shrink:
+        return 1
+    print("shrinking the trace (delta debugging)...")
+    minimal, probes, final = shrink_replay(
+        trace, max_probes=args.max_probes,
+        prop=result.violations[0].prop,
+    )
+    print("minimal counterexample: {0} of {1} events ({2} probes)".format(
+        len(minimal), len(trace), probes))
+    print(minimal.describe(limit=40))
+    print("violation: {0}".format(final.violations[0].summary()))
+    if args.output:
+        minimal.save(args.output)
+        print("minimal trace written to {0}".format(args.output))
     return 1
 
 
@@ -533,9 +704,12 @@ def build_parser():
         default=None,
         help="replay an explicit plan (as printed by a shrunk repro)",
     )
-    chaos.add_argument("--duration", type=float, default=240.0)
-    chaos.add_argument("--interval", type=float, default=8.0,
-                       help="workload broadcast interval")
+    chaos.add_argument("--duration", type=float, default=None,
+                       help="run length: sim time units, or seconds with "
+                            "--live (default: 240 sim / 12 live)")
+    chaos.add_argument("--interval", type=float, default=None,
+                       help="workload broadcast interval (default: 8 sim "
+                            "time units / 0.25s live)")
     chaos.add_argument(
         "--broken",
         action="store_true",
@@ -545,9 +719,25 @@ def build_parser():
                        help="skip counterexample shrinking on violation")
     chaos.add_argument("--max-probes", type=int, default=200,
                        help="shrinking budget (oracle re-runs)")
+    chaos.add_argument(
+        "--live", action="store_true",
+        help="execute the plan against a real-TCP loopback cluster "
+             "(times in seconds) instead of the simulator, recording a "
+             "deterministically replayable trace",
+    )
+    chaos.add_argument("--record", default=None, metavar="PATH",
+                       help="[--live only] write the recorded replay "
+                            "trace to PATH (see `repro replay`)")
+    chaos.add_argument("--hb-interval", type=float, default=None,
+                       help="[--live only] heartbeat beacon interval "
+                            "in seconds (default 0.05)")
+    chaos.add_argument("--hb-timeout", type=float, default=None,
+                       help="[--live only] peer liveness timeout in "
+                            "seconds (default 0.25)")
     chaos.add_argument("--log-limit", type=int, default=None,
-                       help="bound the network event log (entries kept)")
-    chaos.set_defaults(func=_cmd_chaos)
+                       help="[sim only] bound the network event log "
+                            "(entries kept)")
+    chaos.set_defaults(func=_cmd_chaos, _chaos_parser=chaos)
 
     lint = sub.add_parser(
         "lint",
@@ -644,6 +834,24 @@ def build_parser():
     metrics.add_argument("--output", default=None, metavar="PATH",
                          help="write the metrics snapshot JSON here")
     metrics.set_defaults(func=_cmd_metrics)
+
+    replay = sub.add_parser(
+        "replay",
+        help="feed a trace recorded by `repro chaos --live --record` "
+             "through the deterministic stack under the safety monitor",
+    )
+    replay.add_argument("trace", help="path to the recorded trace file")
+    replay.add_argument("--shrink", action="store_true",
+                        help="on violation, ddmin the trace to a minimal "
+                             "counterexample")
+    replay.add_argument("--max-probes", type=int, default=200,
+                        help="shrinking budget (replay re-runs)")
+    replay.add_argument("--output", default=None, metavar="PATH",
+                        help="write the minimal shrunk trace here")
+    replay.add_argument("--check-determinism", action="store_true",
+                        help="replay twice and assert identical digests "
+                             "and delivery orders")
+    replay.set_defaults(func=_cmd_replay)
 
     demo = sub.add_parser("demo", help="partitioned-ledger demo")
     demo.set_defaults(func=_cmd_demo)

@@ -117,6 +117,22 @@ class NemesisPlan:
     def describe(self):
         return "\n".join(op.describe() for op in self.ops)
 
+    def scaled(self, factor):
+        """Uniformly rescale the schedule's time axis.
+
+        Both op times and window durations are multiplied by ``factor``,
+        so a plan authored in simulator time units (tens of units) can be
+        replayed against the live runtime in wall-clock seconds (e.g.
+        ``plan.scaled(0.1)``) without changing its shape.
+        """
+        ops = []
+        for op in self.ops:
+            args = op.args
+            if op.kind in WINDOW_KINDS:
+                args = args[:-1] + (args[-1] * factor,)
+            ops.append(FaultOp(op.at * factor, op.kind, args))
+        return NemesisPlan(ops)
+
     # -- Serialization (replayable repros) ---------------------------------
 
     def to_jsonable(self):

@@ -47,7 +47,9 @@ class RuntimeCluster:
 
     def __init__(self, processes, host="127.0.0.1", monitor=True,
                  app_factory=None, initial_view=None, hb_interval=0.05,
-                 hb_timeout=0.25, queue_limit=4096, obs=None):
+                 hb_timeout=0.25, queue_limit=4096, obs=None,
+                 nemesis=None, faultnet=None, fault_seed=0,
+                 dvs_factory=None, record=False):
         self.processes = sorted(processes)
         if initial_view is None:
             initial_view = View(ViewId(0, ""), frozenset(self.processes))
@@ -57,6 +59,7 @@ class RuntimeCluster:
         self._hb_timeout = hb_timeout
         self._queue_limit = queue_limit
         self._app_factory = app_factory
+        self._dvs_factory = dvs_factory
         self._clock = None
         if obs is True:
             from repro.obs import Observability
@@ -72,6 +75,30 @@ class RuntimeCluster:
             if monitor is True:
                 monitor = SafetyMonitor(self.initial_view, fail_fast=False)
             self.monitor = monitor.attach(self.log)
+        #: Shared fault interposer + scheduled nemesis, mirroring the
+        #: simulator cluster's ``nemesis=`` hook: pass a
+        #: :class:`~repro.faults.nemesis.NemesisPlan` (or op list, or a
+        #: prebuilt :class:`~repro.runtime.faultnet.LiveNemesis`) and it
+        #: is armed on the event loop when the cluster starts.
+        if nemesis is not None or faultnet is not None:
+            from repro.runtime.faultnet import FaultNet, LiveNemesis
+
+            if faultnet is None:
+                faultnet = FaultNet(seed=fault_seed)
+            if nemesis is not None and not isinstance(nemesis, LiveNemesis):
+                nemesis = LiveNemesis(nemesis, faultnet=faultnet)
+        self.faultnet = faultnet
+        self.nemesis = nemesis
+        #: Trace capture (``record=True`` or a prebuilt
+        #: :class:`~repro.obs.record.TraceRecorder`): every stack input
+        #: is recorded so the run replays deterministically offline.
+        if record:
+            from repro.obs.record import TraceRecorder
+
+            if record is True:
+                record = TraceRecorder()
+            self.log.observers.append(record.on_action)
+        self.wiretap = record or None
         self._book = {}
         self._nodes = {}
         self._apps = {}
@@ -102,6 +129,14 @@ class RuntimeCluster:
             await node.start(clock=self._clock)
             if self._app_factory is not None:
                 self._apps[pid] = self._app_factory(node)
+        if self.nemesis is not None:
+            self.nemesis.arm(self)
+
+    @property
+    def clock(self):
+        # Benign race: GIL-atomic reference read; the clock is written
+        # once at startup and is itself thread-safe.
+        return self._clock  # lint: ignore[DVS012]
 
     def _build_node(self, pid, member):
         return RuntimeNode(
@@ -109,6 +144,8 @@ class RuntimeCluster:
             recorder=self.log, member=member, host=self._host,
             hb_interval=self._hb_interval, hb_timeout=self._hb_timeout,
             queue_limit=self._queue_limit, obs=self.obs,
+            faultnet=self.faultnet, wiretap=self.wiretap,
+            dvs_factory=self._dvs_factory,
         )
 
     def stop(self, timeout=CALL_TIMEOUT):
@@ -177,6 +214,33 @@ class RuntimeCluster:
         await node.start(clock=self._clock)
         if self._app_factory is not None:
             self._apps[pid] = self._app_factory(node)
+
+    # -- Nemesis surface (called on the loop thread) -----------------------
+
+    async def nemesis_kill(self, pid):
+        """Crash op from a :class:`~repro.runtime.faultnet.LiveNemesis`;
+        tolerates an already-dead target (plans may race restarts)."""
+        if pid in self._nodes:
+            await self._kill_async(pid)
+
+    async def nemesis_revive(self, pid):
+        """Recover op: live recovery is always an *amnesiac* rejoin (a
+        fresh process reusing the id), unlike the simulator's resume of
+        the old state -- the monitor forgets the old incarnation first."""
+        if pid in self._nodes:
+            return
+        if self.monitor is not None:
+            self.monitor.restart_process(pid)
+        await self._restart_async(pid)
+
+    def note_nemesis(self, op):
+        """Annotate the trace with an applied fault op (loop thread)."""
+        # Only ever called from LiveNemesis timers on the loop thread,
+        # after _start_all set the clock (the engine cannot see that).
+        if self.wiretap is not None and self._clock is not None:  # lint: ignore[DVS012]
+            self.wiretap.record(
+                self._clock.now, "*", "nemesis", op.describe()  # lint: ignore[DVS012]
+            )
 
     # -- Client surface ----------------------------------------------------
 
@@ -301,6 +365,60 @@ class RuntimeCluster:
         return self._call(lambda: {
             pid: node.stats() for pid, node in sorted(self._nodes.items())
         })
+
+    # -- Trace capture (requires ``record=``) ------------------------------
+
+    def _require_wiretap(self):
+        if self.wiretap is None:
+            raise ValueError(
+                "cluster built without record= (pass record=True to "
+                "capture a replayable trace)"
+            )
+        return self.wiretap
+
+    def _dvs_name(self):
+        """The trace-header name of the hosted DVS layer factory.
+
+        Must agree with :data:`repro.checking.replay.DVS_FACTORIES`
+        (resolved locally so the runtime never imports the checking
+        stack and its hypothesis dependency)."""
+        from repro.gcs.dvs_layer import DvsLayer
+
+        if self._dvs_factory is None or self._dvs_factory is DvsLayer:
+            return "normal"
+        from repro.dvs.ablation import NoMajorityDvsLayer
+
+        if self._dvs_factory is NoMajorityDvsLayer:
+            return "nomajority"
+        raise ValueError(
+            "dvs_factory {0!r} has no replayable trace name".format(
+                self._dvs_factory
+            )
+        )
+
+    def snapshot_trace(self, timeout=CALL_TIMEOUT):
+        """The events recorded so far, as an immutable
+        :class:`~repro.obs.record.ReplayTrace` (loop-thread snapshot).
+
+        May also be called after :meth:`stop` (the loop is gone but so
+        are the writers), which is how a chaos harness grabs the final
+        trace."""
+        wiretap = self._require_wiretap()
+
+        def snap():
+            return wiretap.trace(
+                self.processes, self.initial_view, dvs=self._dvs_name(),
+            )
+
+        if self._loop is None:
+            return snap()
+        return self._call(snap, timeout=timeout)
+
+    def save_trace(self, path, timeout=CALL_TIMEOUT):
+        """Serialize the recorded trace to ``path``; returns the trace."""
+        trace = self.snapshot_trace(timeout=timeout)
+        trace.save(path)
+        return trace
 
     # -- Observability (requires ``obs=``) ---------------------------------
 

@@ -1,0 +1,194 @@
+"""Fault injection for the live TCP runtime.
+
+The simulator executes :class:`~repro.faults.nemesis.NemesisPlan`
+schedules by construction -- faults transform the scheduler's copy
+lists.  On real sockets there is no scheduler to transform, so this
+module interposes at the transport boundary of every
+:class:`~repro.runtime.node.RuntimeNode` instead:
+
+- on the *send* side, :meth:`FaultNet.outbound` runs the same
+  :class:`~repro.faults.models.LinkFault` objects the simulator
+  installs over an encoded frame's copy list -- loss drops the frame
+  before it reaches the :class:`~repro.runtime.transport.PeerLink`,
+  duplication queues extra copies, jitter and latency spikes defer the
+  queueing through ``loop.call_later``;
+- on the *receive* side, :meth:`FaultNet.blocked` vetoes delivery for
+  partitioned or one-way-blocked links, mirroring the simulator's
+  delivery-time semantics (frames in flight across a freshly blocked
+  link are lost, and a blocked peer's heartbeats become invisible, so
+  the connectivity estimator suspects it exactly as the oracle would).
+
+One :class:`FaultNet` is shared by every node of a
+:class:`~repro.runtime.cluster.RuntimeCluster` and lives on the
+cluster's event loop thread; all randomness draws from its seeded RNG,
+so two live runs with the same ``(fault_seed, plan)`` make the same
+drop/delay decisions (the network itself stays nondeterministic --
+determinism on live runs comes from trace replay, not from the run).
+
+:class:`LiveNemesis` is the live twin of
+:class:`~repro.faults.nemesis.Nemesis`: it executes a plan against a
+running cluster -- ``crash``/``recover`` ops kill and revive nodes,
+``partition``/``heal`` rewrite the component map, windowed ops install
+and remove fault models -- using ``loop.call_later`` where the
+simulator used its event queue.
+"""
+
+import asyncio
+import random
+
+from repro.faults.nemesis import Nemesis, NemesisPlan
+
+#: Delays below this are flushed inline rather than via the loop: a
+#: ``call_later(0)`` would still reorder the frame behind every ready
+#: callback, which is *more* disruption than the plan asked for.
+_INLINE_DELAY = 1e-6
+
+
+class FaultNet:
+    """Cluster-wide fault state consulted by every node's transport.
+
+    The interface deliberately mirrors the fault slice of
+    :class:`repro.net.simulator.Network` (``partition``/``heal``/
+    ``install_fault``/``remove_fault`` plus a seeded ``rng``), so
+    :class:`~repro.faults.models.LinkFault` objects plug in unchanged:
+    their ``transform`` methods only touch ``net.rng``.
+
+    ``fifo=True`` (default) serializes delayed copies per directed pair
+    through a channel clock, exactly like the simulator: jitter then
+    stretches inter-arrival gaps without reordering a pair's frames.
+    ``fifo=False`` lets large jitter reorder frames -- a strictly
+    harsher adversary than TCP itself provides.
+    """
+
+    def __init__(self, seed=0, fifo=True):
+        self.rng = random.Random(seed)
+        self.fifo = fifo
+        self.faults = []
+        self._component_of = {}
+        self._channel_clock = {}
+        # Counters (read via stats(); all mutated on the loop thread).
+        self.injected_drops = 0
+        self.injected_copies = 0
+        self.delayed_sends = 0
+        self.blocked_recvs = 0
+
+    # -- Topology (the Network fault interface) ----------------------------
+
+    def partition(self, groups):
+        """Install a symmetric component partition.
+
+        Processes not named in any group land in component 0 together,
+        matching the simulator's partition map semantics.
+        """
+        component_of = {}
+        for index, group in enumerate(groups):
+            for pid in group:
+                component_of[pid] = index
+        self._component_of = component_of
+
+    def heal(self):
+        self._component_of = {}
+
+    def install_fault(self, fault):
+        self.faults.append(fault)
+        return fault
+
+    def remove_fault(self, fault):
+        if fault in self.faults:
+            self.faults.remove(fault)
+
+    # -- Transport interposition -------------------------------------------
+
+    def blocked(self, src, dst):
+        """Delivery veto for ``src -> dst`` (partitions + one-way blocks),
+        checked by the *receiver* so in-flight frames are lost too."""
+        if self._component_of.get(src, 0) != self._component_of.get(dst, 0):
+            return True
+        return any(f.blocks_delivery(src, dst) for f in self.faults)
+
+    def note_blocked_recv(self):
+        self.blocked_recvs += 1
+
+    def outbound(self, src, dst, now):
+        """Fault decision for one frame about to be queued on a link.
+
+        Returns ``None`` when no fault matches (the caller takes its
+        fast path unchanged), else the list of extra delays (seconds
+        from ``now``) at which to queue each surviving copy -- ``[]``
+        means the frame is dropped outright.
+        """
+        matching = [f for f in self.faults if f.applies(src, dst)]
+        if not matching:
+            return None
+        copies = [0.0]
+        for fault in matching:
+            copies = fault.transform(self, src, dst, copies)
+            if not copies:
+                self.injected_drops += 1
+                return []
+        if len(copies) > 1:
+            self.injected_copies += len(copies) - 1
+        delays = []
+        for extra in copies:
+            at = now + extra
+            if self.fifo:
+                earliest = self._channel_clock.get((src, dst), 0.0)
+                at = max(at, earliest)
+                self._channel_clock[(src, dst)] = at
+            delay = at - now
+            if delay > _INLINE_DELAY:
+                self.delayed_sends += 1
+            delays.append(max(0.0, delay))
+        return delays
+
+    # -- Observation -------------------------------------------------------
+
+    def stats(self):
+        return {
+            "active_faults": len(self.faults),
+            "partitioned": bool(self._component_of),
+            "injected_drops": self.injected_drops,
+            "injected_copies": self.injected_copies,
+            "delayed_sends": self.delayed_sends,
+            "blocked_recvs": self.blocked_recvs,
+        }
+
+
+class LiveNemesis:
+    """Executes a :class:`NemesisPlan` against a live cluster.
+
+    Op times are seconds on the cluster clock (which starts at ~0 when
+    the cluster boots); :meth:`arm` must run on the cluster's event
+    loop, which :meth:`RuntimeCluster._start_all` guarantees.
+    """
+
+    def __init__(self, plan, faultnet=None):
+        self.plan = plan if isinstance(plan, NemesisPlan) else NemesisPlan(plan)
+        self.faultnet = faultnet
+        self.applied = []
+
+    def arm(self, cluster):
+        loop = asyncio.get_running_loop()
+        if self.faultnet is None:
+            self.faultnet = cluster.faultnet
+        for op in self.plan:
+            delay = max(0.0, op.at - cluster.clock.now)
+            loop.call_later(delay, self._apply, cluster, loop, op)
+        return self
+
+    def _apply(self, cluster, loop, op):
+        self.applied.append(op)
+        cluster.note_nemesis(op)
+        kind, args = op.kind, op.args
+        if kind == "crash":
+            asyncio.ensure_future(cluster.nemesis_kill(args[0]))
+        elif kind == "recover":
+            asyncio.ensure_future(cluster.nemesis_revive(args[0]))
+        elif kind == "partition":
+            self.faultnet.partition([set(g) for g in args[0]])
+        elif kind == "heal":
+            self.faultnet.heal()
+        else:
+            fault, duration = Nemesis._build_fault(kind, args)
+            self.faultnet.install_fault(fault)
+            loop.call_later(duration, self.faultnet.remove_fault, fault)

@@ -86,11 +86,17 @@ class RuntimeNode:
     def __init__(self, pid, book, initial_view, recorder=None,
                  listener=None, member=None, host="127.0.0.1", port=0,
                  hb_interval=0.05, hb_timeout=None, queue_limit=QUEUE_LIMIT,
-                 obs=None):
+                 obs=None, faultnet=None, wiretap=None, dvs_factory=None):
         self.pid = pid
         self.book = book
         self.initial_view = initial_view
         self.log = recorder
+        #: Shared cluster-wide fault interposer (``repro.runtime.faultnet``)
+        #: consulted on every frame sent and received; ``None`` = no faults.
+        self._faultnet = faultnet
+        #: Shared trace recorder capturing this node's stack inputs.
+        self._wiretap = wiretap
+        self._member = member
         self._obs = obs
         self._ins = None
         if obs is not None:
@@ -104,6 +110,9 @@ class RuntimeNode:
                 "frames_in": metrics.counter(base + "transport.frames_in"),
                 "bytes_in": metrics.counter(base + "transport.bytes_in"),
                 "drops": metrics.counter(base + "transport.drops"),
+                "queue_drops": metrics.counter(
+                    base + "transport.queue_drops"
+                ),
                 "connects": metrics.counter(base + "transport.reconnects"),
                 "queue_depth": metrics.gauge(base + "transport.queue_depth"),
                 "flaps": metrics.counter(base + "connectivity.flaps"),
@@ -119,7 +128,8 @@ class RuntimeNode:
             member=member,
         )
         self.stack.net = _RuntimeNet(self)
-        self.dvs = DvsLayer(
+        dvs_cls = DvsLayer if dvs_factory is None else dvs_factory
+        self.dvs = dvs_cls(
             self.stack, initial_view, recorder=recorder, member=member
         )
         self.to = ToLayer(
@@ -169,11 +179,14 @@ class RuntimeNode:
         )
         self._estimator.start()
         self._started = True
+        self._tap("start", self._member)
         self.stack.on_start()
         return self
 
     async def stop(self):
         """Tear everything down; hosted layer state is left readable."""
+        if not self._stopped and self._started:
+            self._tap("stop")
         self._stopped = True
         if self._estimator is not None:
             await self._estimator.stop()
@@ -200,6 +213,9 @@ class RuntimeNode:
                 queue_limit=self._queue_limit,
                 on_connect=self._count_connect if self._ins else None,
                 on_drop=self._count_drop if self._ins else None,
+                on_queue_drop=(
+                    self._count_queue_drop if self._ins else None
+                ),
                 on_error=self.errors.append,
             ).start()
         return self._links[peer]
@@ -214,6 +230,15 @@ class RuntimeNode:
 
     def _count_drop(self, peer):
         self._ins["drops"].inc()
+
+    def _count_queue_drop(self, peer):
+        self._ins["queue_drops"].inc()
+
+    # -- Trace capture (no-op unless ``wiretap`` was supplied) -------------
+
+    def _tap(self, kind, *data):
+        if self._wiretap is not None and self.clock is not None:
+            self._wiretap.record(self.clock.now, self.pid, kind, *data)
 
     # -- Downcalls from the hosted stack -----------------------------------
 
@@ -263,6 +288,27 @@ class RuntimeNode:
             self._send_encoded(dst, msg, frame)
 
     def _send_encoded(self, dst, msg, frame):
+        if self._faultnet is not None:
+            delays = self._faultnet.outbound(self.pid, dst, self.clock.now)
+            if delays is not None:
+                # A matching fault decided this frame's fate: [] drops
+                # it, otherwise each entry queues one copy after its
+                # delay (0.0 = now).  Delayed copies re-check nothing
+                # at fire time except node shutdown -- blocking is the
+                # receiver's job, as in the simulator.
+                for delay in delays:
+                    if delay > 0.0:
+                        self._loop.call_later(
+                            delay, self._flush_frame, dst, msg, frame
+                        )
+                    else:
+                        self._flush_frame(dst, msg, frame)
+                return
+        self._flush_frame(dst, msg, frame)
+
+    def _flush_frame(self, dst, msg, frame):
+        if self._stopped:
+            return
         link = self._ensure_link(dst)
         link.send_frame(frame)
         if self._ins is not None:
@@ -288,6 +334,7 @@ class RuntimeNode:
     def _fire_timer(self, handle, tag):
         self._timers.discard(handle)
         if not self._stopped:
+            self._tap("timer", tag)
             try:
                 self.stack.on_timer(tag)
             except Exception as exc:
@@ -309,6 +356,15 @@ class RuntimeNode:
     def _on_frame(self, src, msg):
         if self._stopped:
             return
+        if self._faultnet is not None and self._faultnet.blocked(
+            src, self.pid
+        ):
+            # Delivery-time veto (partitions, one-way blocks): the frame
+            # is dropped *before* the estimator hears it, so a blocked
+            # peer's heartbeats go dark and suspicion follows, exactly
+            # as under the simulator's connectivity oracle.
+            self._faultnet.note_blocked_recv()
+            return
         self._estimator.heard(src)
         if self._ins is not None:
             self._ins["frames_in"].inc()
@@ -321,6 +377,7 @@ class RuntimeNode:
         self._dispatch(src, msg)
 
     def _dispatch(self, src, msg):
+        self._tap("recv", src, msg)
         try:
             self.stack.on_message(src, msg)
         except Exception as exc:
@@ -331,6 +388,7 @@ class RuntimeNode:
             return
         if self._ins is not None:
             self._ins["flaps"].inc()
+        self._tap("conn", tuple(sorted(component)))
         try:
             self.stack.on_connectivity(component)
         except Exception as exc:

@@ -54,7 +54,7 @@ class PeerLink:
     def __init__(self, local_pid, peer_pid, resolve,
                  queue_limit=QUEUE_LIMIT, retry_min=0.05, retry_max=1.0,
                  stable_after=None, on_connect=None, on_drop=None,
-                 on_error=None):
+                 on_queue_drop=None, on_error=None):
         self.local_pid = local_pid
         self.peer_pid = peer_pid
         self._resolve = resolve
@@ -68,6 +68,7 @@ class PeerLink:
         )
         self._on_connect = on_connect
         self._on_drop = on_drop
+        self._on_queue_drop = on_queue_drop
         self._on_error = on_error
         # Backoff jitter avoids N nodes hammering a rebooting peer in
         # lockstep; real-transport entropy is fine here (DESIGN.md §9).
@@ -78,6 +79,9 @@ class PeerLink:
         self.connects = 0
         self.sent = 0
         self.dropped = 0
+        #: Drops caused specifically by queue overflow (drop-oldest);
+        #: a subset of ``dropped``, which also counts closed-link drops.
+        self.queue_drops = 0
 
     def start(self):
         """Begin dialing; must be called on the event loop."""
@@ -102,11 +106,15 @@ class PeerLink:
             return
         if self._queue.full():
             self._queue.get_nowait()
-            self._drop()
+            self._drop(overflow=True)
         self._queue.put_nowait(frame)
 
-    def _drop(self):
+    def _drop(self, overflow=False):
         self.dropped += 1
+        if overflow:
+            self.queue_drops += 1
+            if self._on_queue_drop is not None:
+                self._on_queue_drop(self.peer_pid)
         if self._on_drop is not None:
             self._on_drop(self.peer_pid)
 

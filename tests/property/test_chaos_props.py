@@ -58,3 +58,37 @@ class TestPlanStrategies:
         assert NemesisPlan.from_json(plan.to_json()) == plan
         assert all(op.at <= op.end for op in plan)
         assert plan.horizon >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        plan=nemesis_plans(PROCS),
+        factor=st.floats(min_value=0.001, max_value=10.0,
+                         allow_nan=False),
+    )
+    def test_scaled_plans_keep_shape(self, plan, factor):
+        # scaled() converts sim time units to wall-clock seconds for
+        # --live runs: times and window durations stretch, everything
+        # else (kinds, op count, targets) is untouched.
+        scaled = plan.scaled(factor)
+        assert len(scaled) == len(plan)
+        assert [op.kind for op in scaled] == [op.kind for op in plan]
+        for op, orig in zip(scaled.ops, plan.ops):
+            assert op.at == orig.at * factor
+            if op.kind in ("drop", "duplicate", "delay", "oneway"):
+                assert op.args[:-1] == orig.args[:-1]
+                assert op.args[-1] == orig.args[-1] * factor
+            else:
+                assert op.args == orig.args
+        # A scaled plan is still serializable and replayable.
+        assert NemesisPlan.from_json(scaled.to_json()) == scaled
+
+    @settings(max_examples=40, deadline=None)
+    @given(plan=nemesis_plans(PROCS))
+    def test_scaling_by_one_is_identity(self, plan):
+        assert plan.scaled(1.0) == plan
+
+    def test_hostile_plan_json_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            NemesisPlan.from_json('[[0.0, "exec", ["rm -rf /"]]]')

@@ -1,0 +1,128 @@
+"""ConnectivityEstimator under asymmetric loss and sustained jitter.
+
+Satellite coverage for the live chaos work: the estimator is the one
+component that turns lossy-wire symptoms into connectivity upcalls, so
+these tests pin down that (a) a one-way block darkens exactly the
+starved direction, and (b) jitter that keeps inter-arrival gaps under
+the timeout never causes suspicion flapping -- in particular not within
+the grace period, where no report may fire at all.
+
+Driven synchronously with a fake clock (no event loop): ``poll`` *is*
+the tick, which makes the timing exact.
+"""
+
+import itertools
+import random
+
+from repro.runtime.heartbeat import ConnectivityEstimator
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def _estimator(pid, others, clock, interval=0.05, timeout=0.2, grace=0.2):
+    notifications = []
+    est = ConnectivityEstimator(
+        pid,
+        peers=lambda: list(others),
+        clock=clock,
+        send_heartbeats=lambda: None,
+        notify=notifications.append,
+        interval=interval,
+        timeout=timeout,
+        grace=grace,
+    )
+    return est, notifications
+
+
+class TestAsymmetricLoss:
+    def test_one_way_loss_darkens_only_the_starved_side(self):
+        # a->b traffic flows; b->a is blocked.  a stops hearing b and
+        # drops it; b keeps hearing a and keeps it.
+        clock = _Clock()
+        a, a_notes = _estimator("a", ["b"], clock)
+        b, b_notes = _estimator("b", ["a"], clock)
+        for tick in range(20):
+            clock.now = tick * 0.05
+            b.heard("a")  # a->b direction delivers
+            # b->a direction is blocked: a.heard("b") never fires
+            a.poll()
+            b.poll()
+        assert a_notes[-1] == frozenset({"a"})
+        assert b_notes[-1] == frozenset({"a", "b"})
+
+    def test_recovery_after_block_lifts(self):
+        clock = _Clock()
+        a, a_notes = _estimator("a", ["b"], clock)
+        for tick in range(20):  # blocked: silence from b
+            clock.now = tick * 0.05
+            a.poll()
+        assert a_notes[-1] == frozenset({"a"})
+        for tick in range(20, 30):  # healed: traffic resumes
+            clock.now = tick * 0.05
+            a.heard("b")
+            a.poll()
+        assert a_notes[-1] == frozenset({"a", "b"})
+
+    def test_never_heard_peer_is_never_alive(self):
+        clock = _Clock()
+        a, _ = _estimator("a", ["b", "c"], clock)
+        a.heard("b")
+        assert a.component() == frozenset({"a", "b"})
+
+
+class TestJitterStability:
+    def test_no_report_at_all_within_grace(self):
+        clock = _Clock()
+        a, a_notes = _estimator("a", ["b"], clock, timeout=0.2, grace=0.5)
+        rng = random.Random(42)
+        t = 0.0
+        while t < 0.45:
+            a.heard("b")
+            a.poll()
+            t += 0.05 + rng.uniform(0.0, 0.03)  # jittered ticks
+            clock.now = t
+        assert a_notes == []
+
+    def test_sustained_jitter_below_timeout_never_flaps(self):
+        # Heartbeats arrive with heavy jitter, but every inter-arrival
+        # gap stays under the timeout: after the first full report the
+        # estimate must never change.
+        clock = _Clock()
+        a, a_notes = _estimator("a", ["b", "c"], clock,
+                                interval=0.05, timeout=0.25, grace=0.25)
+        rng = random.Random(7)
+        heard_at = {"b": 0.0, "c": 0.0}
+        next_hb = {"b": 0.0, "c": 0.0}
+        for tick in itertools.count():
+            clock.now = tick * 0.05
+            if clock.now > 10.0:
+                break
+            for peer in ("b", "c"):
+                if clock.now >= next_hb[peer]:
+                    a.heard(peer)
+                    heard_at[peer] = clock.now
+                    # Jittered arrival: gap in [0.05, 0.24] < timeout.
+                    next_hb[peer] = clock.now + 0.05 + rng.uniform(0.0, 0.19)
+            a.poll()
+        assert a_notes == [frozenset({"a", "b", "c"})]
+
+    def test_gap_beyond_timeout_is_one_clean_transition(self):
+        # One long stall (> timeout) then recovery: exactly two extra
+        # reports (down, up) -- no flapping around the edges.
+        clock = _Clock()
+        a, a_notes = _estimator("a", ["b"], clock,
+                                interval=0.05, timeout=0.2, grace=0.2)
+        for tick in range(100):
+            clock.now = tick * 0.05
+            stalled = 2.0 <= clock.now < 3.0
+            if not stalled:
+                a.heard("b")
+            a.poll()
+        assert a_notes == [
+            frozenset({"a", "b"}),
+            frozenset({"a"}),
+            frozenset({"a", "b"}),
+        ]

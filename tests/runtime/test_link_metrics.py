@@ -1,0 +1,87 @@
+"""Transport loss accounting: queue drops and reconnects as metrics.
+
+The live chaos work leans on the transport's fair-lossy semantics
+(drop-oldest on a full queue, silent drop on a closed link); these
+tests make that loss *visible* -- PeerLink counts overflow drops
+separately from total drops and fires ``on_queue_drop``, and the node
+surfaces both queue drops and reconnects as obs MetricsRegistry
+counters under ``runtime.<pid>.transport.*``.
+"""
+
+import asyncio
+
+from repro.runtime.cluster import RuntimeCluster
+from repro.runtime.transport import PeerLink
+
+WAIT = 60.0
+
+
+def _idle_link(queue_limit, **kwargs):
+    """A PeerLink with a live queue but no dial task: send_frame and the
+    drop accounting are synchronous, so no event loop is needed."""
+    link = PeerLink("a", "b", resolve=lambda: ("127.0.0.1", 1),
+                    queue_limit=queue_limit, **kwargs)
+    link._queue = asyncio.Queue(maxsize=queue_limit)
+    return link
+
+
+class TestPeerLinkQueueDrops:
+    def test_overflow_drops_oldest_and_counts(self):
+        drops = []
+        link = _idle_link(2, on_queue_drop=drops.append)
+        for frame in (b"one", b"two", b"three"):
+            link.send_frame(frame)
+        assert link.queue_drops == 1
+        assert link.dropped == 1
+        assert drops == ["b"]
+        # Drop-oldest: the queue now holds the two *newest* frames.
+        assert link._queue.get_nowait() == b"two"
+        assert link._queue.get_nowait() == b"three"
+
+    def test_closed_link_drop_is_not_a_queue_drop(self):
+        drops = []
+        link = _idle_link(2, on_queue_drop=drops.append)
+        link._closed = True
+        link.send_frame(b"frame")
+        assert link.dropped == 1
+        assert link.queue_drops == 0
+        assert drops == []
+
+    def test_queue_drops_are_a_subset_of_dropped(self):
+        link = _idle_link(1)
+        for i in range(5):
+            link.send_frame(b"x%d" % i)
+        link._closed = True
+        link.send_frame(b"late")
+        assert link.queue_drops == 4
+        assert link.dropped == 5
+
+
+class TestClusterMetrics:
+    def test_queue_drops_and_reconnects_are_registered_counters(self):
+        cluster = RuntimeCluster(["n1", "n2"], obs=True,
+                                 hb_interval=0.05, hb_timeout=0.25)
+
+        def dialed():
+            # Formation is instant (every node boots with the full
+            # initial view), so wait for the dials themselves.
+            return all(
+                cluster.obs.metrics.counter(
+                    "runtime.{0}.transport.reconnects".format(pid)
+                ).value >= 1
+                for pid in ("n1", "n2")
+            )
+
+        with cluster:
+            cluster.wait_formation(timeout=WAIT)
+            cluster.wait_until(dialed, timeout=WAIT,
+                               what="both peer links connected")
+            snap = cluster.metrics_snapshot()
+        for pid in ("n1", "n2"):
+            base = "runtime.{0}.transport.".format(pid)
+            drops = snap[base + "queue_drops"]
+            assert drops["type"] == "counter"
+            assert drops["value"] == 0  # a healthy run drops nothing
+            connects = snap[base + "reconnects"]
+            assert connects["type"] == "counter"
+            assert connects["value"] >= 1  # each node dialed its peer

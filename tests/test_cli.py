@@ -131,3 +131,88 @@ class TestChaos:
         assert code == 0
         out = capsys.readouterr().out
         assert "2 fault ops" in out
+
+
+class TestChaosFlagConflicts:
+    """Live-only and sim-only flags must fail fast, with exit code 2
+    and an error that names the offending flag (satellite: no silent
+    misconfiguration of a chaos run)."""
+
+    def _error(self, capsys, argv):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        return capsys.readouterr().err
+
+    def test_record_requires_live(self, capsys):
+        err = self._error(
+            capsys, ["chaos", "--processes", "3", "--record", "x.trace"]
+        )
+        assert "--record" in err
+        assert "requires --live" in err
+
+    def test_hb_flags_require_live(self, capsys):
+        err = self._error(
+            capsys, ["chaos", "--processes", "3", "--hb-interval", "0.1"]
+        )
+        assert "--hb-interval" in err
+        assert "requires --live" in err
+        err = self._error(
+            capsys, ["chaos", "--processes", "3", "--hb-timeout", "0.5"]
+        )
+        assert "--hb-timeout" in err
+
+    def test_log_limit_is_sim_only(self, capsys):
+        err = self._error(
+            capsys,
+            ["chaos", "--live", "--processes", "3", "--log-limit", "10"],
+        )
+        assert "--log-limit" in err
+        assert "simulated runs only" in err
+
+    def test_conflicts_are_reported_together(self, capsys):
+        err = self._error(
+            capsys,
+            ["chaos", "--processes", "3", "--record", "x.trace",
+             "--hb-interval", "0.1"],
+        )
+        assert "--record" in err and "--hb-interval" in err
+
+    def test_help_marks_mode_specific_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--help"])
+        out = capsys.readouterr().out
+        assert "[--live only]" in out
+        assert "[sim only]" in out
+
+
+class TestReplayCommand:
+    def test_missing_file_is_exit_2(self, capsys):
+        code = main(["replay", "/nonexistent/run.trace"])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_hostile_file_is_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.trace"
+        path.write_bytes(b"\x00\x00\x00\x02ok")
+        code = main(["replay", str(path)])
+        assert code == 2
+        assert "cannot load trace" in capsys.readouterr().out
+
+    def test_live_record_then_replay_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace"
+        code = main(
+            ["chaos", "--live", "--processes", "3", "--plan-json", "[]",
+             "--duration", "3", "--record", str(trace)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no safety violations" in out
+        assert str(trace) in out
+        assert trace.exists()
+
+        code = main(["replay", str(trace), "--check-determinism"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "identical digests" in out
+        assert "replay digest:" in out
