@@ -450,6 +450,39 @@ def _cmd_replay(args):
     return 1
 
 
+def _changed_python_files(base):
+    """Python files touched vs ``base`` plus untracked ones, per git.
+
+    Paths come back absolute: git prints them relative to the repo
+    toplevel, which need not be the working directory."""
+    import os
+    import subprocess
+
+    def git(*argv):
+        proc = subprocess.run(
+            ("git",) + argv, capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            raise SystemExit("lint --changed: 'git {0}' failed: {1}".format(
+                " ".join(argv), proc.stderr.strip()
+            ))
+        return proc.stdout
+
+    toplevel = git("rev-parse", "--show-toplevel").strip()
+    files = set()
+    for listing in (
+        git("diff", "--name-only", base, "--"),
+        git("ls-files", "--others", "--exclude-standard",
+            "--full-name", toplevel),
+    ):
+        files.update(
+            os.path.join(toplevel, line.strip())
+            for line in listing.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return sorted(files)
+
+
 def _cmd_lint(args):
     from repro.lint import RULES, LintConfig, lint_paths
 
@@ -467,8 +500,22 @@ def _cmd_lint(args):
             for rule in spec.split(",")
             if rule.strip()
         ))
+    focus = None
+    if args.changed:
+        focus = _changed_python_files(args.changed_base)
+        if not focus:
+            print("lint: no python files changed against {0}".format(
+                args.changed_base
+            ))
+            return 0
     paths = args.paths or ["src/repro"]
-    report = lint_paths(paths, config=config)
+    report = lint_paths(paths, config=config, focus=focus)
+    if focus is not None:
+        print("lint: focused on {0} changed file(s) + {1} call-graph "
+              "neighbor(s)".format(
+                  len(report.engine["focus"]["files"]),
+                  len(report.engine["focus"]["neighbors"]),
+              ))
     if args.baseline:
         import json as _json
 
@@ -743,7 +790,8 @@ def build_parser():
         "lint",
         help="static analysis: automaton well-formedness, determinism, "
              "cross-process aliasing, thread-boundary races, effect "
-             "alias escapes, wire-schema drift",
+             "alias escapes, wire-schema drift, async hazards, "
+             "wire-taint flows",
     )
     lint.add_argument(
         "paths", nargs="*",
@@ -761,6 +809,16 @@ def build_parser():
         "--select", action="append", default=[],
         help="comma-separated rule ids to enable (repeatable; "
              "default: all)",
+    )
+    lint.add_argument(
+        "--changed", action="store_true",
+        help="report only findings in files changed per git (plus "
+             "their call-graph neighbors); the whole tree is still "
+             "parsed so interprocedural passes stay sound",
+    )
+    lint.add_argument(
+        "--changed-base", default="HEAD", metavar="REV",
+        help="git revision --changed diffs against (default: HEAD)",
     )
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule registry and exit")

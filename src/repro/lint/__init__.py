@@ -1,7 +1,7 @@
 """``repro lint``: static analysis for the simulation stack and the
 live runtime, built on a per-function IR and a project-wide call graph.
 
-Six passes guard the properties the paper's formalism rests on:
+Eight passes guard the properties the paper's formalism rests on:
 
 1. *well-formedness* -- faithful precondition/effect automata
    (rules DVS001-DVS005);
@@ -14,7 +14,13 @@ Six passes guard the properties the paper's formalism rests on:
 5. *escape* -- transition effects never leak aliases of mutable layer
    state across a layer boundary (rule DVS014);
 6. *wire* -- the codec's registry and pinned schema cover every stack
-   message dataclass, field for field (rule DVS015).
+   message dataclass, field for field (rule DVS015);
+7. *asyncflow* -- async-hazard analysis of the event loop hosting the
+   stack: blocking calls, dropped tasks, torn invariants at awaits,
+   lock-order cycles (rules DVS016-DVS019);
+8. *taint* -- wire-taint tracking from the codec's decode paths to
+   automaton-state/key/delay sinks, plus unbounded receive-path
+   containers (rules DVS020-DVS021).
 
 Use from code or tests::
 
@@ -32,6 +38,7 @@ from repro.lint.config import (
     DEFAULT_EVENT_PATH_GLOBS,
     DEFAULT_RULE_EXCLUDES,
     DEFAULT_RUNTIME_GLOBS,
+    DEFAULT_TAINT_VALIDATORS,
     DEFAULT_WIRE_MESSAGE_GLOBS,
     LintConfig,
 )
@@ -50,6 +57,7 @@ __all__ = [
     "DEFAULT_EVENT_PATH_GLOBS",
     "DEFAULT_RULE_EXCLUDES",
     "DEFAULT_RUNTIME_GLOBS",
+    "DEFAULT_TAINT_VALIDATORS",
     "DEFAULT_WIRE_MESSAGE_GLOBS",
     "Finding",
     "FunctionIR",

@@ -1,0 +1,457 @@
+"""Pass 7: async-hazard analysis over the interprocedural IR.
+
+The live runtime multiplexes every layer automaton onto one asyncio
+loop, so the paper's atomicity assumptions hold only between suspension
+points.  This pass classifies which functions run on the event loop --
+every coroutine, plus every sync function reachable from one through
+the call graph and every callable handed to a loop scheduler -- and
+checks four hazard classes on that closure:
+
+DVS016  a blocking call (``time.sleep``, sync socket/file IO,
+        ``subprocess``, ``Future.result()``) reachable from a
+        coroutine; it stalls heartbeats and timers cluster-wide.
+DVS017  ``create_task``/``ensure_future`` whose result is dropped:
+        the task is garbage-collectable mid-flight and its exception
+        is silently lost.
+DVS018  an ``await`` between two writes to the same ``self`` attribute:
+        a handler scheduled at the suspension point can observe
+        half-applied layer state.
+DVS019  lock/queue acquisition-order cycles across coroutines.
+
+Soundness caveats are documented in DESIGN.md section 13: reachability
+stops where the receiver is unknown (silence, never a guess), DVS018
+orders writes lexically (loop back-edges are not straddled), and
+``except``/``finally`` blocks are exempt from DVS018 (cleanup code
+legitimately re-touches state).
+"""
+
+import ast
+
+from repro.lint.callgraph import (
+    External,
+    LoopCall,
+    Target,
+    build_project,
+)
+from repro.lint.ir import receiver_chain
+from repro.lint.model import dotted_name, resolve_dotted
+from repro.lint.report import Finding
+
+#: Synchronous calls that block the hosting thread.  Flagged when the
+#: enclosing function is loop-reachable; the facade/caller thread may
+#: use them freely (``RuntimeCluster.wait_until`` polls with
+#: ``time.sleep`` by design).
+_BLOCKING_EXTERNALS = frozenset({
+    "time.sleep",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "socket.gethostbyname",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "os.system",
+    "os.waitpid",
+    "select.select",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+})
+
+#: Blocking builtins called by bare name (the resolver returns nothing
+#: for builtins, so they need their own table).
+_BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+_TASK_FACTORIES = frozenset({"create_task", "ensure_future"})
+_EXTERNAL_TASK_FACTORIES = frozenset({
+    "asyncio.create_task", "asyncio.ensure_future",
+})
+
+#: Constructors whose instances participate in DVS019 ordering.
+_LOCK_CTORS = frozenset({
+    "asyncio.Lock", "asyncio.Semaphore", "asyncio.BoundedSemaphore",
+    "asyncio.Condition",
+    "threading.Lock", "threading.RLock", "threading.Semaphore",
+    "threading.BoundedSemaphore", "threading.Condition",
+})
+_QUEUE_CTORS = frozenset({
+    "asyncio.Queue", "asyncio.PriorityQueue", "asyncio.LifoQueue",
+})
+
+#: Blocking acquisition methods on locks/queues.
+_ACQUIRE_METHODS = frozenset({"acquire", "get", "put"})
+
+_HANDOFF_FACTORY = "run_coroutine_threadsafe"
+
+
+def _walk_skip_nested(node):
+    """Child nodes of ``node``, recursively, without descending into
+    nested function definitions or lambdas (those have their own IR
+    and run wherever they are called)."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (
+            ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda
+        )):
+            continue
+        yield child
+        for grandchild in _walk_skip_nested(child):
+            yield grandchild
+
+
+def _cleanup_lines(func_node):
+    """Line numbers inside ``except`` handlers and ``finally`` blocks."""
+    lines = set()
+    for node in ast.walk(func_node):
+        if not isinstance(node, ast.Try):
+            continue
+        regions = list(node.handlers) + list(node.finalbody)
+        for region in regions:
+            end = getattr(region, "end_lineno", None) or region.lineno
+            lines.update(range(region.lineno, end + 1))
+    return lines
+
+
+class _AsyncHazardAnalysis:
+    def __init__(self, model, config):
+        self.model = model
+        self.config = config
+        self.project = build_project(model)
+        self.findings = []
+        self._visited = set()
+        self._modules = {m.path: m for m in model.modules}
+
+    # -- Entry ---------------------------------------------------------
+
+    def run(self):
+        seeds = self._seeds()
+        for qualname, klass, ir in seeds:
+            self._walk(qualname, klass, ir)
+        self._check_dropped_tasks()
+        self._check_torn_writes()
+        self._check_lock_cycles()
+        self.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return self.findings
+
+    # -- Loop-side closure (DVS016) ------------------------------------
+
+    def _runtime_irs(self):
+        """``(klass, ir)`` for every function defined in a runtime
+        module, including module functions and nested definitions."""
+        out = []
+        for (path, _name), ir in sorted(self.project.module_functions.items()):
+            if self.config.is_runtime_path(path):
+                out.append((None, ir))
+        for name in sorted(self.project.classes):
+            cls = self.project.classes[name]
+            if not self.config.is_runtime_path(cls.path):
+                continue
+            for method in sorted(cls.methods):
+                out.append((name, cls.methods[method]))
+        expanded = []
+        stack = list(reversed(out))
+        while stack:
+            klass, ir = stack.pop()
+            expanded.append((klass, ir))
+            for inner_name in sorted(ir.nested):
+                stack.append((klass, ir.nested[inner_name]))
+        return expanded
+
+    def _seeds(self):
+        """Every coroutine in a runtime module is a loop root; so is
+        every callable handed to a loop scheduler from one."""
+        seeds = []
+        for klass, ir in self._runtime_irs():
+            if ir.is_async:
+                seeds.append((ir.qualname, klass, ir))
+        return seeds
+
+    def _walk(self, origin, klass, ir):
+        if id(ir) in self._visited:
+            return
+        self._visited.add(id(ir))
+        for inner in sorted(ir.nested):
+            self._walk(origin, klass, ir.nested[inner])
+        for site in ir.calls:
+            resolutions = self.project.resolve(site, ir)
+            self._check_blocking(origin, ir, site, resolutions)
+            for res in resolutions:
+                if isinstance(res, Target) and res.ir is not None:
+                    self._walk(
+                        origin, res.klass if res.klass else klass, res.ir
+                    )
+
+    def _check_blocking(self, origin, ir, site, resolutions):
+        for res in resolutions:
+            if isinstance(res, External) and (
+                res.dotted in _BLOCKING_EXTERNALS
+            ):
+                self._flag(
+                    "DVS016", site.node, ir,
+                    "blocking call {0}() runs on the event loop "
+                    "(reachable from coroutine {1}); it stalls every "
+                    "timer and heartbeat hosted there".format(
+                        res.dotted, origin
+                    ),
+                )
+        if not resolutions and site.root is None and (
+            site.callee in _BLOCKING_BUILTINS
+        ):
+            self._flag(
+                "DVS016", site.node, ir,
+                "blocking builtin {0}() runs on the event loop "
+                "(reachable from coroutine {1}); use a thread "
+                "executor for synchronous IO".format(
+                    site.callee, origin
+                ),
+            )
+        if (
+            site.callee == "result"
+            and site.root is not None
+            and len(site.chain) == 1
+            and self._is_threadsafe_future(site.root, ir)
+        ):
+            self._flag(
+                "DVS016", site.node, ir,
+                "{0}.result() blocks the loop thread waiting on the "
+                "loop itself (reachable from coroutine {1}); await "
+                "the coroutine instead".format(site.root, origin),
+            )
+
+    def _is_threadsafe_future(self, name, ir):
+        value = ir.local_values.get(name)
+        if not isinstance(value, ast.Call):
+            return False
+        dotted = dotted_name(value.func)
+        if dotted is None:
+            return False
+        return dotted.rpartition(".")[2] == _HANDOFF_FACTORY
+
+    # -- Dropped tasks (DVS017) ----------------------------------------
+
+    def _check_dropped_tasks(self):
+        for klass, ir in self._runtime_irs():
+            module = self._modules.get(ir.path)
+            if module is None:
+                continue
+            for site in ir.calls:
+                if site.callee not in _TASK_FACTORIES:
+                    continue
+                if not self._is_task_factory(site, ir):
+                    continue
+                parent = module.parents.get(site.node)
+                if isinstance(parent, ast.Expr):
+                    self._flag(
+                        "DVS017", site.node, ir,
+                        "the task returned by {0}() is dropped: with "
+                        "no reference it can be collected mid-flight "
+                        "and its exception is silently lost; keep the "
+                        "handle or add a done-callback".format(
+                            site.callee
+                        ),
+                    )
+
+    def _is_task_factory(self, site, ir):
+        for res in self.project.resolve(site, ir):
+            if isinstance(res, External) and (
+                res.dotted in _EXTERNAL_TASK_FACTORIES
+            ):
+                return True
+            if isinstance(res, LoopCall) and (
+                res.method in _TASK_FACTORIES
+            ):
+                return True
+        return False
+
+    # -- Torn invariants (DVS018) --------------------------------------
+
+    def _check_torn_writes(self):
+        for klass, ir in self._runtime_irs():
+            if ir.is_async:
+                self._check_torn_in(ir)
+
+    def _check_torn_in(self, ir):
+        cleanup = _cleanup_lines(ir.node)
+        awaits = sorted({
+            node.lineno
+            for node in _walk_skip_nested(ir.node)
+            if isinstance(node, ast.Await)
+            and node.lineno not in cleanup
+        })
+        if not awaits:
+            return
+        writes = {}
+        for access in ir.attr_accesses("self"):
+            if access.kind in ("write", "mutate") and (
+                access.line not in cleanup
+            ):
+                writes.setdefault(access.attr, set()).add(access.line)
+        flagged = set()
+        for attr in sorted(writes):
+            lines = sorted(writes[attr])
+            if len(lines) < 2:
+                continue
+            for at in awaits:
+                before = [l for l in lines if l < at]
+                after = [l for l in lines if l > at]
+                if before and after and (attr, at) not in flagged:
+                    flagged.add((attr, at))
+                    self.findings.append(Finding(
+                        rule="DVS018", path=ir.path, line=at, col=0,
+                        message="await between writes to self.{0} "
+                        "(lines {1} and {2}): a handler scheduled at "
+                        "this suspension point observes half-applied "
+                        "state; apply the update atomically or "
+                        "re-validate after the await".format(
+                            attr, before[-1], after[0]
+                        ),
+                    ))
+
+    # -- Acquisition-order cycles (DVS019) -----------------------------
+
+    def _check_lock_cycles(self):
+        locks = self._lock_attrs()
+        if not locks:
+            return
+        edges = {}
+        for klass, ir in self._runtime_irs():
+            if klass is None or not ir.is_async:
+                continue
+            self._lock_edges(klass, ir, locks, edges)
+        in_cycle = self._cyclic_edges(edges)
+        for edge in sorted(in_cycle):
+            path, line, col = edges[edge]
+            held, acquired = edge
+            self.findings.append(Finding(
+                rule="DVS019", path=path, line=line, col=col,
+                message="coroutines acquire {0}.{1} while holding "
+                "{2}.{3} and elsewhere the reverse: the acquisition "
+                "order cycle deadlocks the loop; order the locks "
+                "consistently".format(
+                    acquired[0], acquired[1], held[0], held[1]
+                ),
+            ))
+
+    def _lock_attrs(self):
+        """(class, attr) -> ctor dotted name for every lock/queue
+        attribute assigned in a runtime class."""
+        locks = {}
+        for name in sorted(self.project.classes):
+            cls = self.project.classes[name]
+            if not self.config.is_runtime_path(cls.path):
+                continue
+            imports = cls.module.imports
+            for ir in cls.methods.values():
+                for node in _walk_skip_nested(ir.node):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    if not isinstance(node.value, ast.Call):
+                        continue
+                    dotted = resolve_dotted(
+                        dotted_name(node.value.func), imports
+                    )
+                    if dotted not in _LOCK_CTORS | _QUEUE_CTORS:
+                        continue
+                    for target in node.targets:
+                        root, chain = receiver_chain(target)
+                        if root == "self" and len(chain) == 1:
+                            locks[(name, chain[0])] = dotted
+        return locks
+
+    def _lock_edges(self, klass, ir, locks, edges):
+        def resource(expr):
+            root, chain = receiver_chain(expr)
+            if root == "self" and chain and (klass, chain[0]) in locks:
+                return (klass, chain[0])
+            return None
+
+        def visit(node, held):
+            if isinstance(node, (
+                ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda
+            )):
+                return
+            if isinstance(node, ast.AsyncWith):
+                acquired = []
+                for item in node.items:
+                    res = resource(item.context_expr)
+                    if res is not None:
+                        record(held, res, item.context_expr)
+                        acquired.append(res)
+                inner = held + acquired
+                for stmt in node.body:
+                    visit(stmt, inner)
+                return
+            if isinstance(node, ast.Await) and isinstance(
+                node.value, ast.Call
+            ):
+                call = node.value
+                func = call.func
+                if isinstance(func, ast.Attribute) and (
+                    func.attr in _ACQUIRE_METHODS
+                ):
+                    res = resource(func.value)
+                    if res is not None:
+                        record(held, res, call)
+                        if func.attr == "acquire":
+                            # Held for the rest of the function
+                            # (conservative: no release tracking).
+                            held.append(res)
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        def record(held, res, node):
+            for h in held:
+                if h != res:
+                    edges.setdefault(
+                        (h, res),
+                        (ir.path, node.lineno, node.col_offset),
+                    )
+
+        for stmt in ir.node.body:
+            visit(stmt, [])
+
+    @staticmethod
+    def _cyclic_edges(edges):
+        adjacency = {}
+        for (src, dst) in edges:
+            adjacency.setdefault(src, set()).add(dst)
+
+        def reaches(start, goal):
+            stack, seen = [start], set()
+            while stack:
+                node = stack.pop()
+                if node == goal:
+                    return True
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(adjacency.get(node, ()))
+            return False
+
+        return {
+            (src, dst) for (src, dst) in edges if reaches(dst, src)
+        }
+
+    # -- Findings ------------------------------------------------------
+
+    def _flag(self, rule, node, ir, message):
+        if not self.config.enabled(rule):
+            return
+        self.findings.append(Finding(
+            rule=rule, path=ir.path, line=node.lineno,
+            col=node.col_offset, message=message,
+        ))
+
+
+def run_pass(model, config):
+    """All pass-7 findings over the model."""
+    wanted = ("DVS016", "DVS017", "DVS018", "DVS019")
+    if not any(config.enabled(rule) for rule in wanted):
+        return []
+    if not any(
+        config.is_runtime_path(module.path) for module in model.modules
+    ):
+        return []
+    analysis = _AsyncHazardAnalysis(model, config)
+    findings = analysis.run()
+    return [f for f in findings if config.enabled(f.rule)]

@@ -56,6 +56,15 @@ DEFAULT_WIRE_MESSAGE_GLOBS = (
     "*/repro/to/summaries.py",
 )
 
+#: Callable names the taint pass (DVS020) accepts as validators.  A
+#: name matches by exact equality or prefix, so the defaults cover
+#: ``validate_message``, ``_validate_inbound`` and the like.  Calling a
+#: validator over a tainted name cleanses it for the whole function.
+DEFAULT_TAINT_VALIDATORS = (
+    "validate_",
+    "_validate",
+)
+
 
 def _match(path, pattern):
     posix = str(path).replace("\\", "/")
@@ -81,6 +90,8 @@ class LintConfig:
     by DVS015.
     ``wire_message_globs`` -- modules whose frozen dataclasses must be
     covered by the wire registry.
+    ``taint_validators`` -- callable name prefixes/exact names the
+    taint pass accepts as wire-input validators (DVS020).
     """
 
     select: frozenset = field(
@@ -93,12 +104,14 @@ class LintConfig:
     runtime_globs: tuple = DEFAULT_RUNTIME_GLOBS
     codec_globs: tuple = DEFAULT_CODEC_GLOBS
     wire_message_globs: tuple = DEFAULT_WIRE_MESSAGE_GLOBS
+    taint_validators: tuple = DEFAULT_TAINT_VALIDATORS
 
     def __post_init__(self):
         self.select = frozenset(self.select)
         self.runtime_globs = tuple(self.runtime_globs)
         self.codec_globs = tuple(self.codec_globs)
         self.wire_message_globs = tuple(self.wire_message_globs)
+        self.taint_validators = tuple(self.taint_validators)
         unknown = self.select - set(RULES)
         if unknown:
             raise ValueError(

@@ -13,18 +13,23 @@ import re
 
 from repro.lint import (
     aliasing,
+    asyncflow,
     determinism,
     escape,
     races,
+    taint,
     wellformed,
     wire,
 )
-from repro.lint.callgraph import build_project
+from repro.lint.callgraph import Target, build_project
 from repro.lint.config import LintConfig
 from repro.lint.model import SourceModel
 from repro.lint.report import Report
 
-_PASSES = (wellformed, determinism, aliasing, races, escape, wire)
+_PASSES = (
+    wellformed, determinism, aliasing, races, asyncflow, escape, wire,
+    taint,
+)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
@@ -84,12 +89,42 @@ def _apply_suppressions(findings, suppression_tables):
     return kept, suppressed
 
 
-def lint_paths(paths, config=None):
+def _callgraph_neighbors(model, focus_files):
+    """Files with a call-graph edge to or from any focus file."""
+    project = build_project(model)
+    neighbors = set()
+    for ir in project._all_irs():
+        irs = [ir]
+        while irs:
+            current = irs.pop()
+            irs.extend(current.nested.values())
+            for site in current.calls:
+                for res in project.resolve(site, current):
+                    if not isinstance(res, Target) or res.ir is None:
+                        continue
+                    src = os.path.abspath(current.path)
+                    dst = os.path.abspath(res.ir.path)
+                    if src == dst:
+                        continue
+                    if src in focus_files:
+                        neighbors.add(dst)
+                    elif dst in focus_files:
+                        neighbors.add(src)
+    return neighbors
+
+
+def lint_paths(paths, config=None, focus=None):
     """Lint ``paths`` (files and/or directories); return a
     :class:`~repro.lint.report.Report`.
 
     This is the pytest-importable API: the clean-tree gate is just
     ``assert lint_paths(["src/repro"]).ok``.
+
+    ``focus`` (``repro lint --changed``) restricts the *reported*
+    findings to the given files plus their call-graph neighbors.  The
+    whole tree is still parsed -- the interprocedural passes need the
+    full model to resolve receivers -- but pre-commit output stays
+    scoped to what the diff could have affected.
     """
     config = config or LintConfig()
     model = SourceModel()
@@ -123,6 +158,21 @@ def lint_paths(paths, config=None):
         finding for finding in findings
         if not config.excluded(finding.rule, finding.path)
     ]
+    excluded_count = len(findings) - len(kept)
+    focus_info = None
+    if focus is not None:
+        # Absolute paths on both sides: git hands the CLI repo-relative
+        # names while lint paths may be absolute (or vice versa).
+        focus_files = {os.path.abspath(p) for p in focus}
+        scope = focus_files | _callgraph_neighbors(model, focus_files)
+        kept = [
+            finding for finding in kept
+            if os.path.abspath(finding.path) in scope
+        ]
+        focus_info = {
+            "files": sorted(focus_files),
+            "neighbors": sorted(scope - focus_files),
+        }
     # The interprocedural passes build (and cache) the project model on
     # the shared SourceModel; surface its size so reports identify the
     # analysis backend that produced them.
@@ -134,10 +184,12 @@ def lint_paths(paths, config=None):
         "ir_functions": project.function_count(),
         "callgraph_edges": project.edges,
     }
+    if focus_info is not None:
+        engine["focus"] = focus_info
     return Report(
         kept,
         files_scanned=len(files),
         suppressed=suppressed,
-        excluded=len(findings) - len(kept),
+        excluded=excluded_count,
         engine=engine,
     )

@@ -22,8 +22,11 @@ an artifact and tests validate it:
 
 Version 2 added the ``engine`` block (which analysis backend produced
 the findings, with its IR/call-graph sizes) and the ``baselined``
-counter (findings waived by ``--baseline``).  SARIF 2.1.0 output is a
-projection of the same data for code-scanning UIs.
+counter (findings waived by ``--baseline``).  Finding entries also
+carry the rule's ``level`` (``error``/``warning``/``note``) -- an
+additive key, so the schema version is unchanged.  SARIF 2.1.0 output
+is a projection of the same data for code-scanning UIs, with the level
+mapped to both the result and the rule's ``defaultConfiguration``.
 """
 
 import json
@@ -60,6 +63,11 @@ class Finding:
     def hint(self):
         return RULES[self.rule].hint
 
+    @property
+    def level(self):
+        """SARIF severity: ``error``, ``warning`` or ``note``."""
+        return RULES[self.rule].level
+
     def sort_key(self):
         return (self.path, self.line, self.col, self.rule, self.message)
 
@@ -72,6 +80,7 @@ class Finding:
         return {
             "rule": self.rule,
             "name": self.name,
+            "level": self.level,
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -158,6 +167,7 @@ class Report:
                 "name": RULES[rule_id].name,
                 "shortDescription": {"text": RULES[rule_id].summary},
                 "help": {"text": RULES[rule_id].hint},
+                "defaultConfiguration": {"level": RULES[rule_id].level},
                 "properties": {"lintPass": RULES[rule_id].lint_pass},
             }
             for rule_id in used
@@ -166,7 +176,7 @@ class Report:
             {
                 "ruleId": finding.rule,
                 "ruleIndex": used.index(finding.rule),
-                "level": "error",
+                "level": finding.level,
                 "message": {"text": finding.message},
                 "locations": [{
                     "physicalLocation": {

@@ -26,21 +26,39 @@ Passes (see DESIGN.md section 7):
 6. **wire** -- the codec's wire registry must cover every stack message
    dataclass, with field names and annotations matching the pinned
    schema.
+7. **asyncflow** -- async-hazard analysis of the live runtime: no
+   blocking calls reachable from a coroutine, no dropped task handles,
+   no ``await`` between writes to the same layer state, no lock
+   acquisition-order cycles across coroutines.
+8. **taint** -- wire-taint analysis: values decoded from TCP frames
+   must pass a registered validator before reaching automaton state,
+   container keys or timer delays, and receive-path containers must be
+   pruned or bounded.
+
+``level`` is the SARIF severity the rule reports at: ``error`` for
+contract violations, ``warning`` for heuristic or resource-hygiene
+rules whose findings occasionally need a justifying pragma, ``note``
+for low-confidence advisories.
 """
 
 from dataclasses import dataclass
 from types import MappingProxyType
 
+#: The SARIF severities a rule may report at.
+LEVELS = ("error", "warning", "note")
+
 
 @dataclass(frozen=True)
 class Rule:
-    """A lint rule: stable id, owning pass, summary and fix hint."""
+    """A lint rule: stable id, owning pass, summary, fix hint and
+    SARIF severity."""
 
     id: str
     name: str
     lint_pass: str
     summary: str
     hint: str
+    level: str = "error"
 
 
 _RULES = (
@@ -108,6 +126,7 @@ _RULES = (
         "order-unstable iteration in an effect/simulator path",
         "wrap the iterable in sorted(...) (set iteration order depends "
         "on PYTHONHASHSEED)",
+        level="warning",
     ),
     Rule(
         "DVS009",
@@ -116,6 +135,7 @@ _RULES = (
         "ordering by id()",
         "id() varies across runs and processes; order by a stable key "
         "(pid, viewid, sequence number) instead",
+        level="note",
     ),
     Rule(
         "DVS010",
@@ -134,6 +154,7 @@ _RULES = (
         "class attributes are shared by every instance (= every "
         "simulated process); initialise the container in __init__ or "
         "use an immutable type",
+        level="warning",
     ),
     Rule(
         "DVS012",
@@ -172,6 +193,64 @@ _RULES = (
         "WIRE_VERSION if the encoded field order changed; every stack "
         "message dataclass must be registered in WIRE_TYPES",
     ),
+    Rule(
+        "DVS016",
+        "blocking-call-on-loop",
+        "asyncflow",
+        "blocking call reachable from a coroutine",
+        "the event loop hosts every node's timers and heartbeats; move "
+        "the blocking call to the facade thread or a run_in_executor "
+        "job (time.sleep -> asyncio.sleep, Future.result -> await)",
+    ),
+    Rule(
+        "DVS017",
+        "orphaned-task",
+        "asyncflow",
+        "create_task/ensure_future result dropped",
+        "keep the returned task in an attribute (or a set with a "
+        "done-callback that discards it); an unreferenced task can be "
+        "garbage-collected mid-flight and its exception is lost",
+        level="warning",
+    ),
+    Rule(
+        "DVS018",
+        "await-torn-invariant",
+        "asyncflow",
+        "await between two writes to the same layer state",
+        "apply the update atomically before the await, or re-validate "
+        "the invariant after it: any handler may run at a suspension "
+        "point and observe the half-applied state",
+        level="warning",
+    ),
+    Rule(
+        "DVS019",
+        "lock-order-cycle",
+        "asyncflow",
+        "lock/queue acquisition-order cycle across coroutines",
+        "impose a global acquisition order (and stick to it in every "
+        "coroutine); cyclic orders deadlock the loop under load",
+    ),
+    Rule(
+        "DVS020",
+        "unvalidated-wire-taint",
+        "taint",
+        "wire-tainted value reaches a sink without a validator",
+        "gate the receive path with a registered validator (a callable "
+        "matching LintConfig.taint_validators, e.g. validate_message / "
+        "_validate_inbound) before the value touches automaton state, "
+        "container keys or timer delays",
+    ),
+    Rule(
+        "DVS021",
+        "unbounded-recv-container",
+        "taint",
+        "receive-path container grows without a prune or bound",
+        "prune the container against current membership, pop on a "
+        "timeout, or construct it bounded (deque(maxlen=...), "
+        "Queue(maxsize=...)); otherwise every received frame enlarges "
+        "it forever",
+        level="warning",
+    ),
 )
 
 #: Stable id -> :class:`Rule`, in id order (read-only mapping).
@@ -180,6 +259,7 @@ RULES = MappingProxyType({rule.id: rule for rule in _RULES})
 #: The pass names, in execution order.
 PASSES = (
     "wellformed", "determinism", "aliasing", "races", "escape", "wire",
+    "asyncflow", "taint",
 )
 
 

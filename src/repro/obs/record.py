@@ -36,7 +36,10 @@ from repro.runtime.codec import CodecError, FrameDecoder, encode_frame
 TRACE_MAGIC = "dvs-trace"
 
 #: Bump on any incompatible change to the header or event layout.
-TRACE_VERSION = 1
+#: v2 added the event count to the header: without it, a trace
+#: truncated exactly on a frame boundary parsed as a silently shorter
+#: -- but "valid" -- run.
+TRACE_VERSION = 2
 
 EVENT_KINDS = (
     "start", "recv", "conn", "timer", "bcast", "nemesis", "stop",
@@ -162,7 +165,8 @@ class ReplayTrace:
 
     def to_bytes(self):
         header = (TRACE_MAGIC, TRACE_VERSION, self.processes,
-                  self.initial_view, self.dvs, self.source)
+                  self.initial_view, self.dvs, self.source,
+                  len(self.events))
         chunks = [encode_frame(header)]
         chunks.extend(encode_frame(e.as_tuple()) for e in self.events)
         return b"".join(chunks)
@@ -182,16 +186,20 @@ class ReplayTrace:
         if not frames:
             raise TraceError("empty trace: no header frame")
         header, event_frames = frames[0], frames[1:]
-        if not (isinstance(header, tuple) and len(header) == 6
+        if not (isinstance(header, tuple) and len(header) >= 2
                 and header[0] == TRACE_MAGIC):
             raise TraceError("not a {0} file".format(TRACE_MAGIC))
-        _, version, processes, initial_view, dvs, source = header
-        if version != TRACE_VERSION:
+        # Version before shape: a v1 file (no event count) reports its
+        # version, not a misleading "malformed header".
+        if header[1] != TRACE_VERSION:
             raise TraceError(
                 "trace version {0!r} unsupported (expected {1})".format(
-                    version, TRACE_VERSION
+                    header[1], TRACE_VERSION
                 )
             )
+        if len(header) != 7:
+            raise TraceError("malformed trace header")
+        _, _, processes, initial_view, dvs, source, count = header
         if not (isinstance(processes, tuple)
                 and all(isinstance(p, str) for p in processes)):
             raise TraceError("malformed process list in trace header")
@@ -201,6 +209,21 @@ class ReplayTrace:
             raise TraceError("trace header initial view is not a View")
         if not isinstance(dvs, str) or not isinstance(source, str):
             raise TraceError("malformed trace header")
+        if not isinstance(count, int) or isinstance(count, bool) \
+                or count < 0:
+            raise TraceError("malformed event count in trace header")
+        if len(event_frames) < count:
+            # Catches truncation landing exactly on a frame boundary,
+            # which decoder.pending cannot see.
+            raise TraceError(
+                "truncated trace: header promises {0} event(s), found "
+                "{1}".format(count, len(event_frames))
+            )
+        if len(event_frames) > count:
+            raise TraceError(
+                "trailing frames: header promises {0} event(s), found "
+                "{1}".format(count, len(event_frames))
+            )
         events = []
         for index, frame in enumerate(event_frames):
             events.append(_decode_event(index, frame))

@@ -216,6 +216,69 @@ def schema_drift():
     return sorted(problems)
 
 
+def _annotation_ok(value, annotation):
+    """Shallow check of ``value`` against a pinned annotation string.
+
+    Containers are checked by outer type only (``FrozenSet[str]`` ->
+    frozenset); ``object`` accepts anything.  Deep element validation
+    is the decoder's job -- this guards the *reconstructed* message
+    against forged field types the positional ``"@"`` decoding cannot
+    rule out (a string where a sequence number belongs decodes fine).
+    """
+    base = annotation.split("[", 1)[0].strip()
+    if base == "object":
+        return True
+    if base == "bool":
+        return isinstance(value, bool)
+    if base == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if base == "float":
+        return isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        )
+    if base == "str":
+        return isinstance(value, str)
+    if base == "bytes":
+        return isinstance(value, bytes)
+    if base in ("FrozenSet", "frozenset"):
+        return isinstance(value, frozenset)
+    if base in ("Tuple", "tuple"):
+        return isinstance(value, tuple)
+    if base in ("Optional",):
+        return True
+    registered = _BY_NAME.get(base)
+    if registered is not None:
+        return isinstance(value, registered)
+    return True
+
+
+def validate_message(msg):
+    """Whether a decoded wire message is schema-faithful.
+
+    ``True`` iff ``msg`` is an instance of a registered wire type and
+    every field shallow-matches its pinned :data:`WIRE_SCHEMA`
+    annotation.  The receive path gates on this before a frame touches
+    the hosted automaton stack: decoding guarantees well-formed
+    *encoding*, not well-typed *content*, and any TCP client controls
+    the content.
+    """
+    cls = type(msg)
+    if cls not in _REGISTERED:
+        return False
+    pinned = WIRE_SCHEMA.get(cls.__name__)
+    if pinned is None:
+        return False
+    declared = fields(cls)
+    if len(declared) != len(pinned):
+        return False
+    for f, (name, annotation) in zip(declared, pinned):
+        if f.name != name:
+            return False
+        if not _annotation_ok(getattr(msg, f.name), annotation):
+            return False
+    return True
+
+
 def _canonical(packed):
     """A sort key making set/dict encodings deterministic."""
     return json.dumps(packed, separators=(",", ":"), sort_keys=True)

@@ -166,6 +166,12 @@ class LiveNemesis:
         self.plan = plan if isinstance(plan, NemesisPlan) else NemesisPlan(plan)
         self.faultnet = faultnet
         self.applied = []
+        #: In-flight crash/recover tasks: a strong reference keeps them
+        #: collectable only after completion, and the done-callback
+        #: surfaces their exceptions into :attr:`errors` instead of
+        #: letting the loop swallow them (DVS017).
+        self.tasks = set()
+        self.errors = []
 
     def arm(self, cluster):
         loop = asyncio.get_running_loop()
@@ -181,9 +187,11 @@ class LiveNemesis:
         cluster.note_nemesis(op)
         kind, args = op.kind, op.args
         if kind == "crash":
-            asyncio.ensure_future(cluster.nemesis_kill(args[0]))
+            self._track(asyncio.ensure_future(cluster.nemesis_kill(args[0])))
         elif kind == "recover":
-            asyncio.ensure_future(cluster.nemesis_revive(args[0]))
+            self._track(
+                asyncio.ensure_future(cluster.nemesis_revive(args[0]))
+            )
         elif kind == "partition":
             self.faultnet.partition([set(g) for g in args[0]])
         elif kind == "heal":
@@ -192,3 +200,15 @@ class LiveNemesis:
             fault, duration = Nemesis._build_fault(kind, args)
             self.faultnet.install_fault(fault)
             loop.call_later(duration, self.faultnet.remove_fault, fault)
+
+    def _track(self, task):
+        self.tasks.add(task)
+        task.add_done_callback(self._reap)
+
+    def _reap(self, task):
+        self.tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self.errors.append(exc)

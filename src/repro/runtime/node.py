@@ -18,6 +18,7 @@ Nothing above the transport knows it left the simulator.
 """
 
 import asyncio
+from collections import deque
 
 from repro.gcs.dvs_layer import DvsLayer
 from repro.gcs.to_layer import ToLayer
@@ -27,9 +28,15 @@ from repro.runtime.codec import (
     Heartbeat,
     Hello,
     encode_frame,
+    validate_message,
 )
 from repro.runtime.heartbeat import ConnectivityEstimator
 from repro.runtime.transport import Listener, PeerLink, QUEUE_LIMIT
+
+#: Cap on the per-node layer-error buffer.  Errors are diagnostics:
+#: keeping the newest ``ERROR_LIMIT`` preserves what tests and
+#: operators look at while bounding what a hostile peer can grow.
+ERROR_LIMIT = 256
 
 
 class MonotonicClock:
@@ -138,9 +145,15 @@ class RuntimeNode:
         )
         #: Exceptions raised by the hosted layers while handling events;
         #: they are recorded (not propagated) so one bad frame cannot
-        #: take the transport down, and tests assert the list is empty.
-        self.errors = []
+        #: take the transport down, and tests assert the buffer is
+        #: empty.  Bounded: every received frame can append here, so an
+        #: unbounded list would let a hostile peer grow it forever
+        #: (DVS021); the cap keeps the newest errors.
+        self.errors = deque(maxlen=ERROR_LIMIT)
         self.dropped_unroutable = 0
+        #: Frames dropped by :meth:`_validate_inbound`: unknown sender
+        #: or a payload that fails the wire-schema check.
+        self.dropped_invalid = 0
         self._links = {}
         self._listener = None
         self._estimator = None
@@ -353,8 +366,27 @@ class RuntimeNode:
 
     # -- Upcalls from transport and estimator ------------------------------
 
+    def _validate_inbound(self, src, msg):
+        """Gate for every frame that reaches this node.
+
+        The transport handshake only proves the peer *claimed* ``src``;
+        the bytes behind it are attacker-controlled.  Frames from
+        senders outside the address book, or whose payload fails the
+        shallow wire-schema check, are counted and dropped before they
+        touch the estimator or the hosted automaton stack.
+        """
+        if src not in self.book:
+            self.dropped_invalid += 1
+            return False
+        if not validate_message(msg):
+            self.dropped_invalid += 1
+            return False
+        return True
+
     def _on_frame(self, src, msg):
         if self._stopped:
+            return
+        if not self._validate_inbound(src, msg):
             return
         if self._faultnet is not None and self._faultnet.blocked(
             src, self.pid
@@ -410,5 +442,6 @@ class RuntimeNode:
             "port": self.port,
             "errors": len(self.errors),
             "dropped_unroutable": self.dropped_unroutable,
+            "dropped_invalid": self.dropped_invalid,
             "links": links,
         }

@@ -1,0 +1,25 @@
+"""Fixture codec: the decode entry points taint flows from.
+
+The empty literal registry/pin keep the wire pass (DVS015) satisfied;
+this tree only exercises the taint pass.
+"""
+
+WIRE_TYPES = ()
+WIRE_SCHEMA = {}  # lint: ignore[DVS010]
+
+
+def decode(data):
+    return ("frame", data)
+
+
+def decode_frame(data):
+    return decode(data)
+
+
+class FrameDecoder:
+    def __init__(self):
+        self._buffer = b""
+
+    def feed(self, data):
+        self._buffer += data
+        return [decode(self._buffer)]

@@ -1,0 +1,40 @@
+"""Seeded receive path: wire-tainted values reaching every sink.
+
+Linted with ``runtime_globs`` pointed at this file and ``codec_globs``
+at the sibling codec (see FIXTURE_CONFIGS).  Expected findings, all in
+``route``:
+
+- DVS020 x3: tainted ``src`` used as a dict-store key, tainted
+  ``src``/``msg`` crossing into ``Automaton.on_message``, and tainted
+  ``msg`` as a ``call_later`` delay;
+- DVS021 x2: ``self.seen`` and ``self.backlog`` grow on the receive
+  path with no prune/bound anywhere in the class.
+"""
+
+import asyncio
+
+from tests.lint.fixtures.taint_bad.codec import FrameDecoder
+from tests.lint.fixtures.taint_bad.stack import Automaton
+
+
+class BadNode:
+    def __init__(self):
+        self._decoder = FrameDecoder()
+        self.stack = Automaton()
+        self.seen = {}
+        self.backlog = []
+        self._loop = asyncio.get_event_loop()
+
+    def on_bytes(self, data):
+        for envelope in self._decoder.feed(data):
+            src, msg = envelope
+            self.route(src, msg)
+
+    def route(self, src, msg):
+        self.seen[src] = msg
+        self.backlog.append(msg)
+        self.stack.on_message(src, msg)
+        self._loop.call_later(msg, self.fire)
+
+    def fire(self):
+        return len(self.backlog)

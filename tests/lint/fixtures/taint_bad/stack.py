@@ -1,0 +1,13 @@
+"""Fixture automaton: hosted protocol logic outside the runtime globs.
+
+Passing wire-tainted values into ``on_message`` without a validator is
+the DVS020 boundary-crossing shape.
+"""
+
+
+class Automaton:
+    def __init__(self):
+        self.state = {}
+
+    def on_message(self, src, msg):
+        self.state[src] = msg

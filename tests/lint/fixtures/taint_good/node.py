@@ -1,0 +1,43 @@
+"""Clean counterpart of taint_bad/node.py: validated, pruned, bounded.
+
+Must stay fully clean: every decoded value passes through
+``_validate_frame`` before use, the backlog is a bounded deque, the
+``seen`` map has a prune path, and the loop delay is a constant.
+"""
+
+import asyncio
+from collections import deque
+
+from tests.lint.fixtures.taint_good.codec import FrameDecoder
+from tests.lint.fixtures.taint_good.stack import Automaton
+
+
+class GoodNode:
+    def __init__(self):
+        self._decoder = FrameDecoder()
+        self.stack = Automaton()
+        self.seen = {}
+        self.backlog = deque(maxlen=64)
+        self._loop = asyncio.get_event_loop()
+
+    def on_bytes(self, data):
+        for envelope in self._decoder.feed(data):
+            src, msg = envelope
+            if not self._validate_frame(src, msg):
+                continue
+            self.route(src, msg)
+
+    def _validate_frame(self, src, msg):
+        return isinstance(src, str) and isinstance(msg, tuple)
+
+    def route(self, src, msg):
+        self.seen[src] = msg
+        self.backlog.append(msg)
+        self.stack.on_message(src, msg)
+        self._loop.call_later(0.05, self.fire)
+
+    def forget(self, src):
+        self.seen.pop(src, None)
+
+    def fire(self):
+        return len(self.backlog)

@@ -1,0 +1,10 @@
+"""Fixture automaton for the clean receive path: only validated
+values ever reach ``on_message`` (the gate lives in node.py)."""
+
+
+class Automaton:
+    def __init__(self):
+        self.state = {}
+
+    def on_message(self, src, msg):
+        self.state[src] = msg

@@ -26,6 +26,12 @@ RULE_FIXTURES = {
     "DVS013": ("races_bad.py", "races_good.py"),
     "DVS014": ("escape_bad.py", "escape_good.py"),
     "DVS015": ("wire_drift", "wire_clean"),
+    "DVS016": ("async_bad.py", "async_good.py"),
+    "DVS017": ("async_bad.py", "async_good.py"),
+    "DVS018": ("async_bad.py", "async_good.py"),
+    "DVS019": ("async_bad.py", "async_good.py"),
+    "DVS020": ("taint_bad", "taint_good"),
+    "DVS021": ("taint_bad", "taint_good"),
 }
 
 #: Fixtures whose pass gates on path globs need the globs pointed at
@@ -40,6 +46,16 @@ FIXTURE_CONFIGS = {
     "wire_clean": {
         "codec_globs": ("*/fixtures/wire_clean/codec.py",),
         "wire_message_globs": ("*/fixtures/wire_clean/messages.py",),
+    },
+    "async_bad.py": {"runtime_globs": ("*/fixtures/async_bad.py",)},
+    "async_good.py": {"runtime_globs": ("*/fixtures/async_good.py",)},
+    "taint_bad": {
+        "runtime_globs": ("*/fixtures/taint_bad/node.py",),
+        "codec_globs": ("*/fixtures/taint_bad/codec.py",),
+    },
+    "taint_good": {
+        "runtime_globs": ("*/fixtures/taint_good/node.py",),
+        "codec_globs": ("*/fixtures/taint_good/codec.py",),
     },
 }
 
@@ -70,6 +86,7 @@ def test_rule_silent_on_clean_fixture(lint_fixture, rule):
 @pytest.mark.parametrize("name", [
     "wellformed_good.py", "determinism_good.py", "aliasing_good.py",
     "races_good.py", "escape_good.py", "wire_clean", "edge_cases.py",
+    "async_good.py", "taint_good",
 ])
 def test_clean_fixtures_are_fully_clean(lint_fixture, name):
     report = lint_fixture(name, config=_fixture_config(name))

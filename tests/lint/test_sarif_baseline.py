@@ -3,7 +3,7 @@
 import json
 
 from repro.cli import main
-from repro.lint import lint_paths
+from repro.lint import RULES, lint_paths
 
 from tests.lint.conftest import fixture_path
 
@@ -26,7 +26,7 @@ def test_sarif_document_shape():
     rule_ids = [rule["id"] for rule in driver["rules"]]
     assert rule_ids == sorted(set(rule_ids)), "rules sorted and unique"
     for result in run["results"]:
-        assert result["level"] == "error"
+        assert result["level"] == RULES[result["ruleId"]].level
         assert rule_ids[result["ruleIndex"]] == result["ruleId"]
         (location,) = result["locations"]
         region = location["physicalLocation"]["region"]
@@ -42,6 +42,8 @@ def test_sarif_rules_carry_help_and_pass():
         assert rule["shortDescription"]["text"]
         assert rule["help"]["text"]
         assert rule["properties"]["lintPass"]
+        configured = rule["defaultConfiguration"]["level"]
+        assert configured == RULES[rule["id"]].level
 
 
 def test_sarif_on_clean_tree_has_no_results():

@@ -47,6 +47,35 @@ SEEDED = {
             ("DVS015", 21),
         },
     },
+    "async_bad.py": {
+        "config": {
+            "runtime_globs": ("*/fixtures/async_bad.py",),
+            "select": {"DVS016", "DVS017", "DVS018", "DVS019"},
+        },
+        "expected": {
+            ("DVS016", 30),
+            ("DVS016", 31),
+            ("DVS018", 39),
+            ("DVS017", 43),
+            ("DVS016", 47),
+            ("DVS019", 51),
+            ("DVS019", 56),
+        },
+    },
+    "taint_bad": {
+        "config": {
+            "runtime_globs": ("*/fixtures/taint_bad/node.py",),
+            "codec_globs": ("*/fixtures/taint_bad/codec.py",),
+            "select": {"DVS020", "DVS021"},
+        },
+        "expected": {
+            ("DVS020", 34),
+            ("DVS021", 34),
+            ("DVS021", 35),
+            ("DVS020", 36),
+            ("DVS020", 37),
+        },
+    },
 }
 
 

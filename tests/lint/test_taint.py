@@ -1,0 +1,128 @@
+"""DVS020/DVS021: the wire-taint pass on its fixture trees, the
+validator-gate semantics, and the acceptance-critical mutation checks
+on the real receive path.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths
+
+from tests.lint.conftest import fixture_path, findings_for, rule_ids
+
+TAINT_RULES = frozenset({"DVS020", "DVS021"})
+
+SRC_RUNTIME = os.path.join("src", "repro", "runtime")
+
+
+def _tree_config(tree):
+    return LintConfig(
+        select=TAINT_RULES,
+        runtime_globs=("*/fixtures/{0}/node.py".format(tree),),
+        codec_globs=("*/fixtures/{0}/codec.py".format(tree),),
+    )
+
+
+def _bad_report():
+    return lint_paths(
+        [fixture_path("taint_bad")], config=_tree_config("taint_bad")
+    )
+
+
+def test_every_sink_kind_fires_once():
+    report = _bad_report()
+    sinks = findings_for(report, "DVS020")
+    assert len(sinks) == 3
+    messages = " | ".join(f.message for f in sinks)
+    assert "subscript key" in messages
+    assert "Automaton.on_message" in messages
+    assert "call_later" in messages
+
+
+def test_boundary_sink_names_the_tainted_arguments():
+    report = _bad_report()
+    (boundary,) = [
+        f for f in findings_for(report, "DVS020")
+        if "on_message" in f.message
+    ]
+    assert "msg" in boundary.message and "src" in boundary.message
+
+
+def test_unbounded_growth_names_each_container_once():
+    report = _bad_report()
+    growth = findings_for(report, "DVS021")
+    assert len(growth) == 2
+    named = {f.message.split()[0] for f in growth}
+    assert named == {"self.seen", "self.backlog"}
+
+
+def test_validated_pruned_tree_is_clean():
+    report = lint_paths(
+        [fixture_path("taint_good")], config=_tree_config("taint_good")
+    )
+    assert report.ok, report.to_text()
+
+
+def test_real_receive_path_is_clean():
+    """node._validate_inbound() cleanses src/msg and every receive-path
+    container is bounded or pruned -- the two shipped fixes this pass
+    exists to keep in place."""
+    report = lint_paths(["src/repro"], config=LintConfig(
+        select=TAINT_RULES,
+    ))
+    assert report.ok, report.to_text()
+
+
+# -- Mutations on the real runtime -------------------------------------
+
+_GATE = (
+    "        if not self._validate_inbound(src, msg):\n"
+    "            return\n"
+)
+
+
+def _mutate_runtime(tmp_path, filename, original, replacement):
+    tree = tmp_path / "repro" / "runtime"
+    shutil.copytree(SRC_RUNTIME, tree)
+    target = tree / filename
+    source = target.read_text()
+    assert original in source, "mutation anchor drifted"
+    target.write_text(source.replace(original, replacement))
+    return lint_paths([str(tmp_path)], config=LintConfig(
+        select=TAINT_RULES,
+    ))
+
+
+def test_deleting_the_validator_gate_reintroduces_dvs020(tmp_path):
+    """Acceptance: without _validate_inbound, wire-tainted src flows
+    into the connectivity estimator's key space."""
+    report = _mutate_runtime(tmp_path, "node.py", _GATE, "")
+    assert "DVS020" in rule_ids(report), report.to_text()
+    assert any(
+        f.path.endswith("heartbeat.py")
+        for f in findings_for(report, "DVS020")
+    ), report.to_text()
+
+
+def test_unbounding_the_error_sink_reintroduces_dvs021(tmp_path):
+    """Acceptance: swapping the bounded error deque back to a bare
+    list flags the receive-path growth."""
+    report = _mutate_runtime(
+        tmp_path, "node.py", "deque(maxlen=ERROR_LIMIT)", "[]"
+    )
+    assert "DVS021" in rule_ids(report), report.to_text()
+    assert any(
+        "self.errors" in f.message
+        for f in findings_for(report, "DVS021")
+    ), report.to_text()
+
+
+def test_unmutated_runtime_copy_is_clean(tmp_path):
+    tree = tmp_path / "repro" / "runtime"
+    shutil.copytree(SRC_RUNTIME, tree)
+    report = lint_paths([str(tmp_path)], config=LintConfig(
+        select=TAINT_RULES,
+    ))
+    assert report.ok, report.to_text()

@@ -166,7 +166,13 @@ def _frames(*values):
     return b"".join(encode_frame(v) for v in values)
 
 
-HEADER = (TRACE_MAGIC, TRACE_VERSION, ("p1",), VIEW, "normal", "live")
+def _header(count=1):
+    """A well-formed v2 header promising ``count`` event frames."""
+    return (TRACE_MAGIC, TRACE_VERSION, ("p1",), VIEW, "normal",
+            "live", count)
+
+
+HEADER = _header()
 
 
 class TestHostileInput:
@@ -193,13 +199,39 @@ class TestHostileInput:
     def test_malformed_process_list(self):
         with pytest.raises(TraceError, match="process list"):
             ReplayTrace.from_bytes(_frames(
-                (TRACE_MAGIC, TRACE_VERSION, ("p1", 2), VIEW, "n", "l")
+                (TRACE_MAGIC, TRACE_VERSION, ("p1", 2), VIEW, "n", "l", 0)
             ))
 
     def test_initial_view_not_a_view(self):
         with pytest.raises(TraceError, match="View"):
             ReplayTrace.from_bytes(_frames(
-                (TRACE_MAGIC, TRACE_VERSION, ("p1",), "view?", "n", "l")
+                (TRACE_MAGIC, TRACE_VERSION, ("p1",), "view?", "n", "l", 0)
+            ))
+
+    def test_v1_header_reports_its_version(self):
+        # Pre-count header shape: classified by version, not as garbage.
+        with pytest.raises(TraceError, match="version 1"):
+            ReplayTrace.from_bytes(_frames(
+                (TRACE_MAGIC, 1, ("p1",), VIEW, "n", "l")
+            ))
+
+    def test_malformed_event_count(self):
+        with pytest.raises(TraceError, match="event count"):
+            ReplayTrace.from_bytes(_frames(_header(count=True)))
+
+    def test_boundary_truncation_is_detected(self):
+        # Cutting exactly at a frame boundary leaves no pending bytes;
+        # only the header's event count can expose the loss.
+        whole = _frames(_header(count=2), (0.0, "p1", "stop", ()),
+                        (1.0, "p1", "stop", ()))
+        boundary = len(_frames(_header(count=2), (0.0, "p1", "stop", ())))
+        with pytest.raises(TraceError, match="truncated"):
+            ReplayTrace.from_bytes(whole[:boundary])
+
+    def test_trailing_frames_are_detected(self):
+        with pytest.raises(TraceError, match="trailing"):
+            ReplayTrace.from_bytes(_frames(
+                _header(count=0), (0.0, "p1", "stop", ())
             ))
 
     def test_event_not_a_tuple(self):

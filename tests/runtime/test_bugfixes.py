@@ -9,7 +9,13 @@ Each test pins one specific bug:
 4. ``except (CancelledError, Exception)`` swallowing real teardown
    errors (the second arm was dead: CancelledError isn't an Exception);
 5. the heartbeat estimator never pruning ``_last_heard`` evidence for
-   peers removed from the address book.
+   peers removed from the address book;
+6. ``LiveNemesis`` dropping its crash/recover task references, so a
+   failed kill/revive was silently swallowed by the loop;
+7. the node's error buffer growing without bound (every received frame
+   can append to it);
+8. inbound frames dispatched without validation: unknown senders fed
+   the connectivity estimator and forged payloads reached the stack.
 """
 
 import asyncio
@@ -22,8 +28,10 @@ import repro.runtime
 import repro.runtime.node
 from repro.core.viewids import ViewId
 from repro.core.views import View
+from repro.runtime.codec import Heartbeat, Hello
+from repro.runtime.faultnet import FaultNet, LiveNemesis
 from repro.runtime.heartbeat import ConnectivityEstimator
-from repro.runtime.node import RuntimeNode
+from repro.runtime.node import ERROR_LIMIT, RuntimeNode
 from repro.runtime.transport import PeerLink
 
 
@@ -312,3 +320,77 @@ def test_estimator_evidence_map_stays_bounded_over_churn():
         est.poll()
     # Pre-fix this held all 50 dead generations forever.
     assert set(est._last_heard) == {"peer-49"}
+
+# -- 6. nemesis task references ----------------------------------------------
+
+
+def test_nemesis_crash_failures_are_captured_not_lost():
+    """``_apply`` used to drop the ``ensure_future`` result: a failing
+    kill/revive was garbage-collected with its exception unobserved."""
+
+    class _Cluster:
+        def __init__(self):
+            self.faultnet = FaultNet()
+            self.clock = StubClock()
+            self.noted = []
+
+        def note_nemesis(self, op):
+            self.noted.append(op)
+
+        async def nemesis_kill(self, pid):
+            raise RuntimeError("kill failed: " + pid)
+
+    async def scenario():
+        nemesis = LiveNemesis([(0.0, "crash", ("p1",))])
+        nemesis.arm(_Cluster())
+        await asyncio.sleep(0.05)
+        assert [type(e) for e in nemesis.errors] == [RuntimeError]
+        assert nemesis.tasks == set()  # reaped after completion
+
+    run(scenario())
+
+
+# -- 7. bounded error buffer -------------------------------------------------
+
+
+def test_node_error_buffer_is_bounded():
+    """Every received frame can append to ``errors``; a hostile peer
+    must not be able to grow it forever.  Newest entries win."""
+    view = View(ViewId(0, ""), frozenset(["a"]))
+    node = RuntimeNode("a", {}, initial_view=view)
+    overflow = ERROR_LIMIT + 100
+    for index in range(overflow):
+        node.errors.append(RuntimeError(str(index)))
+    assert len(node.errors) == ERROR_LIMIT
+    assert str(node.errors[-1]) == str(overflow - 1)
+
+
+# -- 8. inbound frame validation ---------------------------------------------
+
+
+def test_forged_and_unknown_frames_are_dropped_before_dispatch():
+    async def scenario():
+        view = View(ViewId(0, ""), frozenset(["a", "b"]))
+        book = {}
+        node = RuntimeNode("a", book, initial_view=view)
+        await node.start()
+        book["b"] = ("127.0.0.1", 1)
+
+        # Unknown sender: never reaches the estimator.
+        node._on_frame("evil", Heartbeat())
+        assert node.dropped_invalid == 1
+        assert "evil" not in node._estimator._last_heard
+
+        # Known sender, forged payload (pid must be a str).
+        node._on_frame("b", Hello(pid=7))
+        assert node.dropped_invalid == 2
+        assert "b" not in node._estimator._last_heard
+
+        # A well-formed frame from a known peer still lands.
+        node._on_frame("b", Heartbeat())
+        assert node.dropped_invalid == 2
+        assert "b" in node._estimator._last_heard
+        assert node.stats()["dropped_invalid"] == 2
+        await node.stop()
+
+    run(scenario())

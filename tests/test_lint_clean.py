@@ -27,19 +27,20 @@ def test_source_tree_scan_covers_the_package():
 
 
 def test_rule_registry_shape():
-    assert len(RULES) >= 15
+    assert len(RULES) >= 21
     for rule_id, rule in RULES.items():
         assert rule_id == rule.id
         assert rule_id.startswith("DVS")
         assert rule.lint_pass in (
             "wellformed", "determinism", "aliasing",
-            "races", "escape", "wire",
+            "races", "escape", "wire", "asyncflow", "taint",
         )
         assert rule.summary and rule.hint
+        assert rule.level in ("error", "warning", "note")
     passes = {rule.lint_pass for rule in RULES.values()}
     assert passes == {
         "wellformed", "determinism", "aliasing",
-        "races", "escape", "wire",
+        "races", "escape", "wire", "asyncflow", "taint",
     }
 
 
@@ -49,4 +50,6 @@ def test_clean_gate_covers_the_interprocedural_rules():
     report = lint_paths([SRC])
     assert "races" in report.engine["passes"]
     assert "wire" in report.engine["passes"]
+    assert "asyncflow" in report.engine["passes"]
+    assert "taint" in report.engine["passes"]
     assert report.engine["ir_functions"] > 100
