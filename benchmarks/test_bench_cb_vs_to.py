@@ -1,0 +1,218 @@
+"""E12 -- ordering-tier benchmark: causal vs totally ordered broadcast.
+
+Runs the *same* broadcast workload through both ordering towers of one
+live :class:`~repro.runtime.cluster.RuntimeCluster` (every node a real
+socket endpoint on 127.0.0.1, online safety monitor armed) for 3- and
+5-node clusters, and compares throughput and delivery latency.
+
+The interesting number is the latency gap.  A TO broadcast is confirmed
+only after the DVS *safe* indication -- every member has acknowledged
+the sequencer's ordering decision -- so each delivery pays a full
+ack round beyond dissemination.  A CB cast delivers as soon as it
+arrives with its causal predecessors already delivered: no sequencer,
+no safe round, roughly half the protocol hops.  The paper's service
+hierarchy prices exactly this trade (total order when replicas must
+agree on one history, causal order when per-sender FIFO + causality
+suffice), and the benchmark makes the price concrete.
+
+End-to-end latencies are taken from the shared action log on the
+cluster's monotonic clock: ``bcast``->``brcv`` gaps for TO,
+``cbcast``->``cb_brcv`` gaps for CB.  Results land in ``BENCH_cb.json``
+at the repository root (CI archives it as an artifact).
+"""
+
+import json
+import os
+
+from repro.analysis import render_table
+from repro.runtime.cluster import RuntimeCluster
+
+REQUESTS = 150
+WAIT = 60.0
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_cb.json",
+)
+
+#: Filled by the per-size benchmarks, flushed by the report test (which
+#: runs last in file order).
+RESULTS = {}
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _delivered(cluster, kind, pid):
+    """Deliveries of ``kind`` ("brcv"/"cb_brcv") recorded at ``pid``.
+
+    Reads the shared log directly, so it is safe inside ``wait_until``
+    predicates (which run on the loop thread: a marshalled call there
+    would deadlock).
+    """
+    return sum(
+        1 for action in cluster.log.actions
+        if action.name == kind and action.params[2] == pid
+    )
+
+
+def _run_tier(cluster, pids, tier, requests=REQUESTS, phase="run"):
+    """Drive ``requests`` broadcasts through one ordering tower and
+    wait until every live member delivered all of them.  ``phase``
+    keeps payloads globally unique across warm-up and headline runs
+    (the monitor's no-duplication check keys on payload + origin)."""
+    deliver_kind = "brcv" if tier == "to" else "cb_brcv"
+    base = {pid: _delivered(cluster, deliver_kind, pid) for pid in pids}
+    t_start = cluster._call(lambda: cluster._clock.now)
+    for i in range(requests):
+        pid = pids[i % len(pids)]
+        cluster.bcast(pid, ("bench", tier, phase, i), ordering=tier)
+    cluster.wait_until(
+        lambda: all(
+            _delivered(cluster, deliver_kind, pid) >= base[pid] + requests
+            for pid in pids
+        ),
+        timeout=WAIT,
+        what="{0} {1} broadcasts delivered everywhere".format(
+            requests, tier),
+    )
+    t_end = cluster._call(lambda: cluster._clock.now)
+
+    def ours(payload):
+        # Only this call's sends: the log accumulates across phases.
+        return (
+            isinstance(payload, tuple) and len(payload) == 4
+            and payload[:3] == ("bench", tier, phase)
+        )
+
+    sends = {}
+    latencies = []
+    for time, action in cluster._call(cluster.log.timed_actions):
+        if action.name == "bcast" and tier == "to":
+            if ours(action.params[0]):
+                sends[(action.params[0], action.params[1])] = time
+        elif action.name == "cbcast" and tier == "cb":
+            if ours(action.params[0]):
+                sends[(action.params[0], action.params[1])] = time
+        elif action.name == "brcv" and tier == "to":
+            sent = sends.get((action.params[0], action.params[1]))
+            if sent is not None and time is not None:
+                latencies.append(time - sent)
+        elif action.name == "cb_brcv" and tier == "cb":
+            message = action.params[0]
+            sent = sends.get((message.payload, action.params[1]))
+            if sent is not None and time is not None:
+                latencies.append(time - sent)
+
+    elapsed = t_end - t_start
+    assert latencies, "log must carry timed {0} pairs".format(tier)
+    return {
+        "tier": tier,
+        "requests": requests,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_req_s": round(requests / elapsed, 1),
+        "deliveries": len(latencies),
+        "latency_ms": {
+            "mean": round(1e3 * sum(latencies) / len(latencies), 3),
+            "p50": round(1e3 * _percentile(latencies, 0.50), 3),
+            "p95": round(1e3 * _percentile(latencies, 0.95), 3),
+            "max": round(1e3 * max(latencies), 3),
+        },
+    }
+
+
+def _run_comparison(nodes, requests=REQUESTS):
+    """Both tiers over one cluster: same sockets, same heartbeat state,
+    sequential workloads (a short warm-up each, discarded)."""
+    pids = ["n{0}".format(i + 1) for i in range(nodes)]
+    cluster = RuntimeCluster(
+        pids, hb_interval=0.05, hb_timeout=0.25,
+    )
+    with cluster:
+        cluster.wait_formation(timeout=WAIT)
+        _run_tier(cluster, pids, "to", requests=nodes * 4, phase="warm")
+        _run_tier(cluster, pids, "cb", requests=nodes * 4, phase="warm")
+        to_result = _run_tier(cluster, pids, "to", requests=requests)
+        cb_result = _run_tier(cluster, pids, "cb", requests=requests)
+        cluster.check()
+        violations = len(cluster.violations)
+    assert violations == 0, "safety monitor reported violations"
+    comparison = {
+        "nodes": nodes,
+        "to": to_result,
+        "cb": cb_result,
+        "cb_over_to_p50": round(
+            cb_result["latency_ms"]["p50"]
+            / to_result["latency_ms"]["p50"], 4
+        ) if to_result["latency_ms"]["p50"] else None,
+    }
+    # Every broadcast reaches every member (sender included) in both
+    # tiers -- CB's weaker order drops nothing in a stable view.
+    assert to_result["deliveries"] >= nodes * requests
+    assert cb_result["deliveries"] >= nodes * requests
+    return comparison
+
+
+def _bench(benchmark, nodes):
+    result = benchmark.pedantic(
+        _run_comparison, args=(nodes,), rounds=1, iterations=1,
+    )
+    RESULTS["{0}-node".format(nodes)] = result
+    return result
+
+
+def test_bench_cb_vs_to_3_nodes(benchmark):
+    result = _bench(benchmark, 3)
+    # The acceptance headline: causal delivery must be strictly
+    # cheaper than totally ordered delivery on the 3-node cluster --
+    # CB skips the sequencer's safe round that TO waits out.
+    assert (
+        result["cb"]["latency_ms"]["p50"]
+        < result["to"]["latency_ms"]["p50"]
+    ), result
+
+
+def test_bench_cb_vs_to_5_nodes(benchmark):
+    result = _bench(benchmark, 5)
+    assert result["cb"]["throughput_req_s"] > 0
+    assert result["to"]["throughput_req_s"] > 0
+
+
+def test_bench_cb_report():
+    for nodes in (3, 5):
+        RESULTS.setdefault(
+            "{0}-node".format(nodes), _run_comparison(nodes)
+        )
+    payload = {
+        "benchmark": "cb-vs-to-latency",
+        "transport": "tcp-loopback",
+        "monitor": "armed",
+        "results": {k: RESULTS[k] for k in sorted(RESULTS)},
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    rows = []
+    for key in sorted(RESULTS):
+        result = RESULTS[key]
+        for tier in ("to", "cb"):
+            r = result[tier]
+            rows.append([
+                key,
+                tier,
+                r["requests"],
+                r["throughput_req_s"],
+                r["latency_ms"]["p50"],
+                r["latency_ms"]["p95"],
+            ])
+    print()
+    print(
+        render_table(
+            ["cluster", "tier", "requests", "req/s", "p50 ms", "p95 ms"],
+            rows,
+            title="E12: causal vs totally ordered broadcast on "
+                  "loopback TCP (monitor armed)",
+        )
+    )

@@ -6,16 +6,26 @@ an asyncio TCP transport (:mod:`repro.runtime`): three nodes on
 127.0.0.1, OS-assigned ports, heartbeat-estimated connectivity, and the
 online safety monitor armed on the live action log.
 
-The scenario: the cluster forms, serves writes; one node is killed
-mid-run; the surviving majority reforms a primary view and keeps
-serving; the killed node comes back as a fresh process (same id, new
-port, empty state), is readmitted, and rebuilds everything it missed
-from the total order.
+Each node hosts *both* ordering towers over one DVS layer, and the two
+applications pick their strength per group: the KV store submits
+commands over totally ordered broadcast (replicas must agree on one
+history), while a presence/typing channel rides causal broadcast --
+per-member status needs only per-sender FIFO and causal consistency,
+so it skips the sequencer's safe round-trip and lands faster.
+
+The scenario: the cluster forms, everyone announces presence, serves
+writes; one node is killed mid-run; the surviving majority reforms a
+primary view and keeps serving; the killed node comes back as a fresh
+process (same id, new port, empty state), is readmitted, rebuilds the
+KV state it missed from the total order, and repairs its presence
+board from fresh announcements (CB is view-scoped: old casts die with
+their view, new ones converge).
 
 Run:  python examples/live_kv_cluster.py
 """
 
 from repro.apps.kv_store import KvReplica
+from repro.apps.presence import PresenceBoard
 from repro.runtime.cluster import RuntimeCluster
 
 PIDS = ["n1", "n2", "n3"]
@@ -39,13 +49,33 @@ def put_round(cluster, pids, start, count):
     return total
 
 
+def presence_round(cluster, pids, status):
+    """Everyone types, announces, stops typing -- all over CB -- then
+    wait until every board agrees (causal per-sender FIFO guarantees
+    the stop-typing lands after the start on every replica)."""
+    for pid in pids:
+        cluster.call_cb_app(pid, lambda app: app.typing(True))
+        cluster.call_cb_app(pid, lambda app, s=status: app.announce(s))
+        cluster.call_cb_app(pid, lambda app: app.typing(False))
+    cluster.wait_until(
+        lambda: all(
+            cluster.cb_app(p).status_of(q) == status
+            and not cluster.cb_app(p).typing_now()
+            for p in pids for q in pids
+        ),
+        timeout=WAIT,
+        what="presence convergence at {0!r}".format(status),
+    )
+
+
 def dump(cluster, label):
     print("\n== {0} ==".format(label))
     for pid in cluster.live():
-        print("  {0}: {1} applied, kv={2}".format(
+        print("  {0}: {1} applied, kv={2}, presence={3}".format(
             pid,
             cluster.call_app(pid, lambda app: app.log_length),
             cluster.call_app(pid, lambda app: app.snapshot()),
+            cluster.call_cb_app(pid, lambda app: app.board()),
         ))
 
 
@@ -53,6 +83,7 @@ def main():
     cluster = RuntimeCluster(
         PIDS,
         app_factory=lambda node: KvReplica(node.to),
+        cb_app_factory=lambda node: PresenceBoard(node.cb),
         hb_interval=0.05,
         hb_timeout=0.25,
     )
@@ -64,6 +95,9 @@ def main():
         print("3 live nodes on 127.0.0.1, ports {0}".format(
             sorted(ports.values())))
 
+        presence_round(cluster, PIDS, "online")
+        print("presence converged over CB: everyone online, "
+              "nobody typing")
         sent = put_round(cluster, PIDS, 0, 12)
         dump(cluster, "all three serving")
 
@@ -82,6 +116,7 @@ def main():
             timeout=WAIT,
             what="n3 state transfer",
         )
+        presence_round(cluster, PIDS, "back")
         dump(cluster, "n3 readmitted and caught up from the total order")
 
         cluster.check()

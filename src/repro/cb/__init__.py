@@ -1,0 +1,64 @@
+"""CB: a causal-broadcast service tier beside TO on the DVS substrate.
+
+The TO tier of [12] pays a sequencer round-trip (label, order, safe)
+for every delivery.  Many group-communication workloads -- presence,
+typing indicators, commutative operation streams -- only need *causal*
+order, which a process can decide locally from a vector clock carried on
+the message: no sequencer, no safe-indication wait.  This package is the
+causal analogue of :mod:`repro.to`, layered on the **unchanged** DVS
+service: a service specification (:mod:`repro.cb.spec`), a per-process
+implementation automaton over DVS (:mod:`repro.cb.dvs_to_cb`) using
+view-scoped dynamic vector clocks (:mod:`repro.cb.clocks`), composition
+builders (:mod:`repro.cb.impl`) and state invariants
+(:mod:`repro.cb.invariants`).
+"""
+
+from repro.cb.clocks import (
+    advance,
+    compare,
+    deliverable,
+    drain,
+    entry,
+    join,
+    leq,
+    normalize,
+    put,
+    restrict,
+    tick,
+)
+from repro.cb.dvs_to_cb import DvsToCb, DvsToCbState
+from repro.cb.impl import (
+    CB_IMPL_NAME,
+    CbImplState,
+    app_component_name,
+    build_cb_impl,
+    build_cb_over_dvs_impl,
+)
+from repro.cb.invariants import cb_impl_invariants
+from repro.cb.messages import CbCast
+from repro.cb.spec import CBSpec, CBState
+
+__all__ = [
+    "CB_IMPL_NAME",
+    "CBSpec",
+    "CBState",
+    "CbCast",
+    "CbImplState",
+    "DvsToCb",
+    "DvsToCbState",
+    "advance",
+    "app_component_name",
+    "build_cb_impl",
+    "build_cb_over_dvs_impl",
+    "cb_impl_invariants",
+    "compare",
+    "deliverable",
+    "drain",
+    "entry",
+    "join",
+    "leq",
+    "normalize",
+    "put",
+    "restrict",
+    "tick",
+]

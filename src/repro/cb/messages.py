@@ -1,0 +1,46 @@
+"""The wire message of the CB tier.
+
+``CbCast`` is to CB what ``(Label, payload)`` is to TO: the one payload
+type the tier multicasts through DVS.  The vector clock rides on the
+message as a canonical entry tuple (see :mod:`repro.cb.clocks`), so a
+receiver can decide deliverability locally; ``clock[origin]`` doubles as
+the per-view per-sender sequence number, which is what makes the
+no-gaps/no-duplicates invariants checkable from the wire alone.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cb.clocks import entry, normalize
+from repro.core.viewids import ViewId
+
+
+@dataclass(frozen=True)
+class CbCast:
+    """A causally-timestamped payload, scoped to one view.
+
+    ``vid`` scopes the clock: entries only name members of that view,
+    and receivers drop casts tagged with any other view (cross-view
+    delivery is best-effort by design -- the clock domain changed).
+    """
+
+    vid: ViewId
+    clock: Tuple[Tuple[str, int], ...]
+    payload: object
+    origin: str
+
+    def __post_init__(self):
+        if not isinstance(self.clock, tuple) or any(
+            not isinstance(e, tuple) for e in self.clock
+        ):
+            object.__setattr__(
+                self, "clock", normalize(tuple(e) for e in self.clock)
+            )
+
+    @property
+    def seqno(self):
+        """The per-view sequence number among ``origin``'s casts."""
+        return entry(self.clock, self.origin)
+
+    def __str__(self):
+        return "cb:{0}#{1}@{2}".format(self.vid, self.seqno, self.origin)

@@ -13,6 +13,7 @@ close them with environment automata:
 
 from repro.checking import strategies
 from repro.checking.drivers import (
+    CbClientDriver,
     DvsClientDriver,
     SxClientDriver,
     ToClientDriver,
@@ -21,6 +22,7 @@ from repro.checking.drivers import (
     random_view_pool,
 )
 from repro.checking.harness import (
+    build_closed_cb_impl,
     build_closed_dvs_impl,
     build_closed_full_stack,
     build_closed_sx_dvs_impl,
@@ -32,12 +34,14 @@ from repro.checking.harness import (
 )
 from repro.checking.isis_property import isis_violations
 from repro.checking.trace_props import (
+    check_cb_trace_properties,
     check_dvs_trace_properties,
     check_to_trace_properties,
     check_vs_trace_properties,
 )
 
 __all__ = [
+    "CbClientDriver",
     "DvsClientDriver",
     "SxClientDriver",
     "build_closed_full_stack",
@@ -47,10 +51,12 @@ __all__ = [
     "strategies",
     "ToClientDriver",
     "VsClientDriver",
+    "build_closed_cb_impl",
     "build_closed_dvs_impl",
     "build_closed_dvs_spec",
     "build_closed_to_impl",
     "build_closed_vs_spec",
+    "check_cb_trace_properties",
     "check_dvs_trace_properties",
     "check_to_trace_properties",
     "check_vs_trace_properties",

@@ -30,6 +30,8 @@ def _proc_param_index(action_name):
         "dvs_safe": 2,
         "bcast": 1,
         "brcv": 2,
+        "cbcast": 1,
+        "cb_brcv": 2,
         "sx_sendstate": 1,
         "sx_statedelivery": 1,
         "sx_statesafe": 0,
@@ -170,6 +172,37 @@ class ToClientDriver(_PerProcessDriver):
             yield act("bcast", ("a", self.pid, state.sent), self.pid)
 
     def eff_brcv(self, state, a, q, p):
+        state.delivered.append((a, q))
+
+
+class CbClientDriver(_PerProcessDriver):
+    """Client of the CB broadcast service at one process.
+
+    Broadcasts a budget of distinct payloads ``("c", pid, i)`` and
+    records deliveries (used by the CB trace-property checks).
+    """
+
+    inputs = frozenset({"cb_brcv"})
+    outputs = frozenset({"cbcast"})
+
+    def __init__(self, pid, budget=3):
+        super().__init__(pid, "cb_client:{0}".format(pid))
+        self.budget = budget
+
+    def initial_state(self):
+        return State(sent=0, delivered=[])
+
+    def pre_cbcast(self, state, a, p):
+        return state.sent < self.budget and a == ("c", self.pid, state.sent)
+
+    def eff_cbcast(self, state, a, p):
+        state.sent += 1
+
+    def cand_cbcast(self, state):
+        if state.sent < self.budget:
+            yield act("cbcast", ("c", self.pid, state.sent), self.pid)
+
+    def eff_cb_brcv(self, state, a, q, p):
         state.delivered.append((a, q))
 
 

@@ -6,7 +6,10 @@ Each builder returns a closed :class:`~repro.ioa.composition.Composition`
 sorted process list.
 """
 
+from repro.cb.dvs_to_cb import DvsToCb
+from repro.cb.impl import app_component_name as cb_app_component_name
 from repro.checking.drivers import (
+    CbClientDriver,
     DvsClientDriver,
     ToClientDriver,
     VsClientDriver,
@@ -106,6 +109,23 @@ def build_closed_to_impl(initial_view, universe, view_pool=(), budget=2):
         [dvs] + apps + clients,
         hidden=DVS_EXTERNAL_ACTIONS,
         name="closed_to_impl",
+    )
+    return system, universe
+
+
+def build_closed_cb_impl(initial_view, universe, view_pool=(), budget=2):
+    """CB-IMPL (DVS spec + applications) + CB clients, DVS actions hidden."""
+    universe = sorted(set(universe) | set(initial_view.set))
+    dvs = DVSSpec(initial_view, universe=universe, view_pool=view_pool)
+    apps = [
+        DvsToCb(p, initial_view, name=cb_app_component_name(p))
+        for p in universe
+    ]
+    clients = [CbClientDriver(p, budget=budget) for p in universe]
+    system = Composition(
+        [dvs] + apps + clients,
+        hidden=DVS_EXTERNAL_ACTIONS,
+        name="closed_cb_impl",
     )
     return system, universe
 

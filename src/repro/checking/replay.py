@@ -1,7 +1,8 @@
 """Deterministic replay of recorded live executions.
 
 :func:`replay_trace` rebuilds the *unchanged* gcs layer tower (VS ->
-DVS -> TO) for every process in a :class:`~repro.obs.record.ReplayTrace`
+DVS -> {TO, CB}) for every process in a
+:class:`~repro.obs.record.ReplayTrace`
 and feeds the recorded input events back in recorded order, with a
 fresh :class:`~repro.faults.monitor.SafetyMonitor` armed on a fresh
 :class:`~repro.gcs.recorder.ActionLog`.  Because the layers are
@@ -27,10 +28,12 @@ import hashlib
 from dataclasses import dataclass, field
 from types import MappingProxyType
 
+from repro.cb.messages import CbCast
 from repro.dvs.ablation import NoMajorityDvsLayer
 from repro.faults.harness import _canon
 from repro.faults.monitor import SafetyMonitor
 from repro.faults.shrink import shrink_plan
+from repro.gcs.cb_layer import CbLayer, DvsFanout
 from repro.gcs.dvs_layer import DvsLayer
 from repro.gcs.recorder import ActionLog
 from repro.gcs.to_layer import ToLayer
@@ -92,7 +95,7 @@ class _SinkNet:
 
 
 class _ReplayTower:
-    """One process's rebuilt VS->DVS->TO tower."""
+    """One process's rebuilt VS->DVS->{TO,CB} towers."""
 
     def __init__(self, pid, initial_view, member, dvs_cls, recorder, net):
         self.stack = VsStackNode(
@@ -103,8 +106,14 @@ class _ReplayTower:
         self.dvs = dvs_cls(
             self.stack, initial_view, recorder=recorder, member=member
         )
+        self.fanout = DvsFanout(self.dvs)
         self.to = ToLayer(
-            self.dvs, initial_view, recorder=recorder, member=member
+            self.fanout.port(), initial_view, recorder=recorder,
+            member=member,
+        )
+        self.cb = CbLayer(
+            self.fanout.port(claims=CbCast), initial_view,
+            recorder=recorder, member=member,
         )
         self.stack.on_start()
 
@@ -182,6 +191,8 @@ def replay_trace(trace, fail_fast=False):
                 tower.stack.on_timer(data[0])
             elif kind == "bcast":
                 tower.to.bcast(data[0])
+            elif kind == "cbcast":
+                tower.cb.cbcast(data[0])
             dispatched += 1
         except Exception as exc:
             errors.append((index, pid, kind, exc))

@@ -215,3 +215,69 @@ def check_to_trace_properties(trace):
         "deliveries": sum(len(v) for v in deliveries.values()),
         "max_delivered": max((len(v) for v in deliveries.values()), default=0),
     }
+
+
+def check_cb_trace_properties(trace):
+    """The externally visible CB guarantees (stable case).
+
+    1. *Integrity & attribution*: every ``cb_brcv(a, q, p)`` is preceded
+       by ``cbcast(a, q)``.
+    2. *No duplication*: no payload delivered twice at one process
+       (requires distinct payloads from the drivers).
+    3. *Causal order*: when p delivers a broadcast, every broadcast in
+       its causal past -- whatever its sender had delivered or itself
+       broadcast beforehand -- has already been delivered at p.  This
+       implies per-sender gap-free FIFO.
+
+    Causal precedence is reconstructed from the trace interleaving
+    itself, so this checker applies to CB *spec* traces and to CB-IMPL
+    runs without view changes; across view changes the implementation's
+    guarantee is deliberately view-scoped (checked by the CB-IMPL
+    invariants and the runtime safety monitor instead).
+    """
+    ids = {}  # (a, q) -> broadcast id
+    past = {}  # id -> frozenset of ids
+    knowledge = defaultdict(set)  # process -> ids broadcast or delivered
+    delivered_ids = defaultdict(set)
+    deliveries = defaultdict(list)
+    per_sender = defaultdict(int)
+    for action in trace:
+        if action.name == "cbcast":
+            a, q = action.params
+            assert (a, q) not in ids, (
+                "{0} broadcast {1!r} twice (drivers must send distinct "
+                "payloads)".format(q, a)
+            )
+            bid = (q, per_sender[q])
+            per_sender[q] += 1
+            ids[(a, q)] = bid
+            past[bid] = frozenset(knowledge[q])
+            knowledge[q].add(bid)
+        elif action.name == "cb_brcv":
+            a, q, p = action.params
+            bid = ids.get((a, q))
+            assert bid is not None, (
+                "{0} delivered {1!r} attributed to {2} before/without "
+                "its broadcast".format(p, a, q)
+            )
+            assert bid not in delivered_ids[p], (
+                "duplicate delivery at {0}: {1!r} from {2}".format(p, a, q)
+            )
+            missing = past[bid] - delivered_ids[p]
+            assert not missing, (
+                "causal violation at {0}: delivered {1!r} from {2} "
+                "before its causal predecessors {3}".format(
+                    p, a, q, sorted(missing)
+                )
+            )
+            delivered_ids[p].add(bid)
+            knowledge[p].add(bid)
+            deliveries[p].append((a, q))
+
+    return {
+        "broadcasts": len(ids),
+        "deliveries": sum(len(v) for v in deliveries.values()),
+        "max_delivered": max(
+            (len(v) for v in deliveries.values()), default=0
+        ),
+    }

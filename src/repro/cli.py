@@ -306,12 +306,13 @@ def _cmd_chaos(args):
               len(procs), args.seed, len(plan), result.stats["sim_time"]))
     print("log digest: {0}".format(result.digest))
     for key in ("attempted_views", "broadcasts", "deliveries",
+                "cb_broadcasts", "cb_deliveries",
                 "wire_sends", "drops", "violations"):
         if key in result.stats:
             print("  {0}: {1}".format(key, result.stats[key]))
     if result.ok:
-        print("no safety violations: DVS 4.1 intersection and TO "
-              "prefix-consistency held throughout")
+        print("no safety violations: DVS 4.1 intersection, TO "
+              "prefix-consistency and CB causal order held throughout")
         return 0
     print()
     print("SAFETY VIOLATION: {0}".format(result.violation.summary()))
@@ -351,6 +352,7 @@ def _cmd_chaos_live(args, procs, plan, dvs_factory, duration, interval):
     print("chaos --live: {0} processes on loopback TCP, {1} fault ops, "
           "{2:.1f}s".format(len(procs), len(plan), duration))
     for key in ("attempted_views", "broadcasts", "deliveries",
+                "cb_broadcasts", "cb_deliveries",
                 "workload_bcasts", "trace_events", "violations"):
         if key in result.stats:
             print("  {0}: {1}".format(key, result.stats[key]))
@@ -365,8 +367,8 @@ def _cmd_chaos_live(args, procs, plan, dvs_factory, duration, interval):
               "python -m repro replay {0}".format(
                   args.record, len(result.trace)))
     if result.ok:
-        print("no safety violations: DVS 4.1 intersection and TO "
-              "prefix-consistency held throughout")
+        print("no safety violations: DVS 4.1 intersection, TO "
+              "prefix-consistency and CB causal order held throughout")
         return 0
     print()
     print("SAFETY VIOLATION: {0}".format(result.violations[0].summary()))
@@ -550,7 +552,7 @@ def _render_trace_summary(data):
 
     summary = data["summary"]
     rows = []
-    for stage in ("wire", "vs", "dvs", "to", "total"):
+    for stage in ("wire", "vs", "dvs", "to", "cb", "total"):
         stats = summary["stages"].get(stage)
         if stats is None:
             continue
@@ -578,7 +580,8 @@ def _traced_sim_run(args):
     cluster = Cluster(procs, seed=args.seed, obs=True)
     cluster.start().settle(max_time=500.0)
     for i in range(args.requests):
-        cluster.bcast(procs[i % len(procs)], ("req", i))
+        ordering = "to" if i % 2 == 0 else "cb"
+        cluster.bcast(procs[i % len(procs)], ("req", i), ordering=ordering)
     cluster.settle(max_time=10000.0)
     print("traced simulated run: {0} processes, {1} requests, "
           "seed {2}".format(args.processes, args.requests, args.seed))
@@ -610,6 +613,20 @@ def _traced_live_run(args):
             ),
             timeout=args.timeout,
             what="{0} requests applied everywhere".format(args.requests),
+        )
+        # The same request count again over the causal tier, so the
+        # stage table shows both orderings side by side.
+        for i in range(args.requests):
+            cluster.bcast(pids[i % len(pids)], ("pres", i), ordering="cb")
+        cluster.wait_until(
+            lambda: all(
+                sum(1 for a in cluster.log.actions
+                    if a.name == "cb_brcv" and a.params[2] == pid)
+                >= args.requests
+                for pid in pids
+            ),
+            timeout=args.timeout,
+            what="{0} CB casts delivered everywhere".format(args.requests),
         )
         data = cluster.trace_snapshot()
     print("traced live run: {0} nodes on loopback TCP, "

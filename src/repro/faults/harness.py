@@ -91,11 +91,13 @@ def run_chaos(
     """Run the full stack under a nemesis plan with an armed monitor.
 
     The workload broadcasts one payload every ``broadcast_interval`` time
-    units from the processes in rotation (skipping crashed senders), for
-    ``duration`` simulated time units (default: the plan's horizon plus
-    one settle margin), then lets the network quiesce for up to
-    ``settle_time``.  A monitor violation aborts the run immediately and
-    is returned in the result rather than raised.
+    units from the processes in rotation (skipping crashed senders),
+    alternating the ordering tier -- even ticks go through TO, odd ticks
+    through CB -- so every chaos schedule exercises both towers over the
+    same faults, for ``duration`` simulated time units (default: the
+    plan's horizon plus one settle margin), then lets the network quiesce
+    for up to ``settle_time``.  A monitor violation aborts the run
+    immediately and is returned in the result rather than raised.
     """
     processes = tuple(sorted(processes))
     plan = plan if isinstance(plan, NemesisPlan) else NemesisPlan(plan or ())
@@ -120,9 +122,10 @@ def run_chaos(
             return
         pid = processes[counter[0] % len(processes)]
         if net.alive(pid):
+            ordering = "to" if counter[0] % 2 == 0 else "cb"
             payload = ("w", pid, counter[0])
-            net.record("workload", payload)
-            cluster.bcast(pid, payload)
+            net.record("workload", (ordering, payload))
+            cluster.bcast(pid, payload, ordering=ordering)
         counter[0] += 1
         net.queue.schedule(broadcast_interval, broadcast_tick)
 

@@ -12,7 +12,13 @@ proves:
 - **TO prefix consistency (Theorem 6.4)** -- every ``brcv`` must extend
   the process's delivery sequence consistently with one system-wide
   total order, with integrity (delivered payloads were broadcast) and no
-  duplication.
+  duplication;
+- **CB causal order** -- every ``cb_brcv`` must satisfy, at its
+  receiver, the vector-clock delivery condition the cast carries on the
+  wire: it is the *next* cast from its sender in the receiver's current
+  view (no gaps, no duplicates) and every cast in its causal past has
+  already been delivered here, with integrity and per-view-slot content
+  consistency.
 
 Unlike the post-hoc trace checkers in :mod:`repro.checking.trace_props`
 (which the monitor agrees with by construction), the monitor fails *fast*:
@@ -75,6 +81,11 @@ class SafetyMonitor:
         self.broadcast = set()
         self.deliveries = defaultdict(list)
         self.common_order = []
+        # CB state: broadcast set, per-process per-view delivered counts
+        # (sender -> count), per-(view, sender, seqno) payload slots.
+        self.cb_broadcast = set()
+        self.cb_counts = defaultdict(dict)
+        self.cb_slots = {}
         self._log = None  # ActionLog, set on attach
 
     # -- Wiring ------------------------------------------------------------
@@ -100,6 +111,7 @@ class SafetyMonitor:
         """
         self.deliveries.pop(pid, None)
         self.current.pop(pid, None)
+        self.cb_counts.pop(pid, None)
 
     # -- Event dispatch ----------------------------------------------------
 
@@ -118,6 +130,12 @@ class SafetyMonitor:
         elif name == "brcv":
             payload, origin, pid = action.params
             self._on_brcv(time, payload, origin, pid)
+        elif name == "cbcast":
+            payload, pid = action.params
+            self.cb_broadcast.add((payload, pid))
+        elif name == "cb_brcv":
+            msg, origin, pid = action.params
+            self._on_cb_brcv(time, msg, origin, pid)
 
     # -- DVS: view order + Invariant 4.1 -----------------------------------
 
@@ -188,6 +206,57 @@ class SafetyMonitor:
                        "{0} delivered {1!r} twice".format(pid, entry))
         seq.append(entry)
 
+    # -- CB: integrity, gap-freedom, causal precedence ----------------------
+
+    def _on_cb_brcv(self, time, msg, origin, pid):
+        """Re-check the BSS delivery condition from the on-wire clock.
+
+        ``msg.clock[origin]`` is the per-view per-sender sequence
+        number; requiring it to be *exactly* one past the receiver's
+        delivered count rules out gaps and duplicates at once, and the
+        remaining clock entries -- the sender's causal past at send time
+        -- must already be delivered here (causal precedence).
+        """
+        if (msg.payload, origin) not in self.cb_broadcast:
+            self._fail("cb-integrity", time,
+                       "{0} delivered {1!r} attributed to {2} before/"
+                       "without its broadcast".format(pid, msg.payload,
+                                                      origin))
+        if msg.origin != origin:
+            self._fail("cb-integrity", time,
+                       "{0} delivered a cast stamped by {1} but attributed "
+                       "to {2}".format(pid, msg.origin, origin))
+        counts = self.cb_counts[pid].setdefault(msg.vid, {})
+        clock = dict(msg.clock)
+        seqno = clock.get(origin, 0)
+        expected = counts.get(origin, 0) + 1
+        if seqno != expected:
+            self._fail(
+                "cb-gap-free", time,
+                "{0}'s delivery from {1} in view {2} carries seqno {3} "
+                "but {4} is next (gap or duplicate)".format(
+                    pid, origin, msg.vid, seqno, expected))
+        for sender, count in sorted(clock.items()):
+            if sender != origin and count > counts.get(sender, 0):
+                self._fail(
+                    "cb-causal-order", time,
+                    "{0} delivered {1!r} from {2} whose clock requires "
+                    "{3} cast(s) from {4} in view {5}, but only {6} "
+                    "delivered".format(
+                        pid, msg.payload, origin, count, sender, msg.vid,
+                        counts.get(sender, 0)))
+        slot = (msg.vid, origin, seqno)
+        known = self.cb_slots.get(slot)
+        if known is None:
+            self.cb_slots[slot] = msg.payload
+        elif known != msg.payload:
+            self._fail(
+                "cb-content-consistency", time,
+                "view {0} slot {1}#{2} delivered as {3!r} at {4} but "
+                "{5!r} elsewhere".format(
+                    msg.vid, origin, seqno, msg.payload, pid, known))
+        counts[origin] = seqno
+
     # -- Reporting ---------------------------------------------------------
 
     def _fail(self, prop, time, detail):
@@ -213,5 +282,11 @@ class SafetyMonitor:
             "totally_registered": len(self.totally_registered),
             "broadcasts": len(self.broadcast),
             "deliveries": sum(len(s) for s in self.deliveries.values()),
+            "cb_broadcasts": len(self.cb_broadcast),
+            "cb_deliveries": sum(
+                sum(counts.values())
+                for by_view in self.cb_counts.values()
+                for counts in by_view.values()
+            ),
             "violations": len(self.violations),
         }

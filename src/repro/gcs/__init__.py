@@ -13,6 +13,9 @@ protocol nodes exchanging messages over :class:`repro.net.Network`:
   registration and garbage collection);
 - :mod:`repro.gcs.to_layer` -- the runtime coding of ``DVS-TO-TO_p``
   (labelling, tentative order, confirmation, state-exchange recovery);
+- :mod:`repro.gcs.cb_layer` -- the runtime coding of ``DVS-TO-CB_p``
+  (view-scoped vector clocks, hold-back release at delivery time) plus
+  the fanout that lets the TO and CB towers share one DVS layer;
 - :mod:`repro.gcs.recorder` -- converts the stack's events into the same
   action vocabulary as the automata, so the trace-property checkers apply
   verbatim to stack runs.
@@ -23,6 +26,7 @@ detection and affects liveness/timing only, never the safety properties
 checked by the test suite.
 """
 
+from repro.gcs.cb_layer import CbLayer, CbListener, DvsFanout
 from repro.gcs.dvs_layer import DvsLayer, DvsListener
 from repro.gcs.effect_check import (
     EffectIsolationChecker,
@@ -34,6 +38,9 @@ from repro.gcs.vs_stack import VsListener, VsStackNode
 
 __all__ = [
     "ActionLog",
+    "CbLayer",
+    "CbListener",
+    "DvsFanout",
     "DvsLayer",
     "DvsListener",
     "EffectIsolationChecker",

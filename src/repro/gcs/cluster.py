@@ -1,14 +1,20 @@
 """One-call wiring of a full simulated cluster.
 
 A :class:`Cluster` builds, per process: a network node running the
-view-synchronous stack, the dynamic-primary (DVS) layer on top of it and,
-optionally, the totally-ordered-broadcast (TO) layer on top of that --
-with a single shared :class:`~repro.gcs.recorder.ActionLog` so the whole
-run can be checked with the trace-property suite and analysed afterwards.
+view-synchronous stack, the dynamic-primary (DVS) layer on top of it
+and, optionally, the two ordering towers over it -- totally-ordered
+broadcast (TO) and causal broadcast (CB), side by side behind a
+:class:`~repro.gcs.cb_layer.DvsFanout` -- with a single shared
+:class:`~repro.gcs.recorder.ActionLog` so the whole run can be checked
+with the trace-property suite and analysed afterwards.  Clients pick
+the ordering strength per send: ``bcast(pid, payload, ordering="to")``
+or ``ordering="cb"``.
 """
 
+from repro.cb.messages import CbCast
 from repro.core.viewids import ViewId
 from repro.core.views import View
+from repro.gcs.cb_layer import CbLayer, DvsFanout
 from repro.gcs.dvs_layer import DvsLayer
 from repro.gcs.recorder import ActionLog
 from repro.gcs.to_layer import ToLayer
@@ -80,7 +86,9 @@ class Cluster:
         self.last_settle = None
         self.stacks = {}
         self.dvs = {}
+        self.fanouts = {}
         self.to = {}
+        self.cb = {}
         dvs_factory = dvs_factory or DvsLayer
         for pid in self.processes:
             stack = VsStackNode(
@@ -91,7 +99,15 @@ class Cluster:
             self.stacks[pid] = stack
             self.dvs[pid] = dvs
             if with_to_layer:
-                self.to[pid] = ToLayer(dvs, initial_view, recorder=self.log)
+                fanout = DvsFanout(dvs)
+                self.fanouts[pid] = fanout
+                self.to[pid] = ToLayer(
+                    fanout.port(), initial_view, recorder=self.log
+                )
+                self.cb[pid] = CbLayer(
+                    fanout.port(claims=CbCast), initial_view,
+                    recorder=self.log,
+                )
         self.effect_checker = None
         if check_effects:
             from repro.gcs.effect_check import EffectIsolationChecker
@@ -167,9 +183,18 @@ class Cluster:
         self.net.recover(pid)
         return self
 
-    def bcast(self, pid, payload):
-        """Broadcast through the TO layer at ``pid``."""
-        self.to[pid].bcast(payload)
+    def bcast(self, pid, payload, ordering="to"):
+        """Broadcast at ``pid`` with the chosen ordering strength."""
+        if ordering == "to":
+            self.to[pid].bcast(payload)
+        elif ordering == "cb":
+            self.cb[pid].cbcast(payload)
+        else:
+            raise ValueError(
+                "unknown ordering {0!r} (expected 'to' or 'cb')".format(
+                    ordering
+                )
+            )
         return self
 
     # -- Observation ---------------------------------------------------------------------
@@ -180,6 +205,14 @@ class Cluster:
             (a.params[0], a.params[1])
             for a in self.log.actions
             if a.name == "brcv" and a.params[2] == pid
+        ]
+
+    def cb_delivered(self, pid):
+        """The causally ordered deliveries observed at ``pid`` so far."""
+        return [
+            (a.params[0].payload, a.params[1])
+            for a in self.log.actions
+            if a.name == "cb_brcv" and a.params[2] == pid
         ]
 
     def primary_views(self, pid):

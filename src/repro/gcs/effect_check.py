@@ -56,6 +56,8 @@ class EffectIsolationChecker:
                       ("dvs", cluster.dvs[pid])]
             if pid in cluster.to:
                 layers.append(("to", cluster.to[pid]))
+            if pid in getattr(cluster, "cb", {}):
+                layers.append(("cb", cluster.cb[pid]))
             self._layers[pid] = layers
         # Objects excluded from fingerprints by identity: shared
         # infrastructure plus every layer object (cross-references like

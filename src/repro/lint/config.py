@@ -54,6 +54,7 @@ DEFAULT_WIRE_MESSAGE_GLOBS = (
     "*/repro/core/viewids.py",
     "*/repro/gcs/messages.py",
     "*/repro/to/summaries.py",
+    "*/repro/cb/messages.py",
 )
 
 #: Callable names the taint pass (DVS020) accepts as validators.  A

@@ -23,6 +23,12 @@ The codec therefore pins the layout in a ``WIRE_SCHEMA`` literal
 
 ``codec.schema_drift()`` re-proves fidelity at import time from the
 live classes; this rule is the static half of that contract.
+
+Every finding is stamped with the codec's declared ``WIRE_VERSION``
+as its baseline *context* (``wire-schema-v2``), so fingerprints are
+version-scoped: bumping the schema version invalidates baseline
+entries recorded against the old layout rather than letting them waive
+fresh drift forever.
 """
 
 import ast
@@ -31,6 +37,20 @@ from repro.lint.report import Finding
 
 _REGISTRY_NAME = "WIRE_TYPES"
 _SCHEMA_NAME = "WIRE_SCHEMA"
+_VERSION_NAME = "WIRE_VERSION"
+
+
+def _wire_version(tree):
+    """The integer value of a top-level ``WIRE_VERSION = <int>``
+    literal, or ``None`` when absent or non-literal."""
+    node = _top_level_assign(tree, _VERSION_NAME)
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    ):
+        return node.value
+    return None
 
 
 def _top_level_assign(tree, name):
@@ -157,20 +177,32 @@ def run_pass(model, config):
         return []
     findings = []
 
-    def flag(path, node, message):
-        findings.append(Finding(
-            rule="DVS015", path=path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-            message=message,
-        ))
-
     codec_modules = [
         module for module in model.modules
         if config.is_codec_path(module.path)
     ]
     if not codec_modules:
         return []
+
+    # Findings carry the codec's declared schema version as their
+    # baseline context ("wire-schema-v2"), so a legitimate version bump
+    # retires stale baseline entries instead of waiving new drift.
+    versions = [
+        version for version in
+        (_wire_version(module.tree) for module in codec_modules)
+        if version is not None
+    ]
+    context = "wire-schema-v{0}".format(versions[0]) if versions else ""
+
+    def flag(path, node, message):
+        findings.append(Finding(
+            rule="DVS015", path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            context=context,
+        ))
+
     registered = set()
     schema = {}
     # Where each registered-or-pinned name is defined, for fidelity.

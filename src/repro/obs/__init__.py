@@ -32,7 +32,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.spans import SpanEvent, SpanRing
-from repro.obs.trace import MESSAGE_STAGES, VIEW_STAGES, Tracer
+from repro.obs.trace import (
+    MESSAGE_STAGES,
+    TIERS,
+    VIEW_STAGES,
+    Tracer,
+    message_key,
+)
 
 __all__ = [
     "Counter",
@@ -43,6 +49,7 @@ __all__ = [
     "Observability",
     "SpanEvent",
     "SpanRing",
+    "TIERS",
     "Tracer",
     "VIEW_STAGES",
 ]
@@ -60,9 +67,13 @@ class Observability:
         self.tracer = Tracer(ring_size=ring_size)
         self._latency_cap = latency_cap
         self._born = OrderedDict()
+        self._cb_born = OrderedDict()
         self._lat = self.metrics.histogram("gcs.to.delivery_latency_s")
+        self._cb_lat = self.metrics.histogram("gcs.cb.delivery_latency_s")
         self._bcasts = self.metrics.counter("gcs.to.bcasts")
         self._deliveries = self.metrics.counter("gcs.to.deliveries")
+        self._cb_bcasts = self.metrics.counter("gcs.cb.cbcasts")
+        self._cb_deliveries = self.metrics.counter("gcs.cb.deliveries")
         self._vs_views = self.metrics.counter("gcs.vs.views_installed")
         self._dvs_views = self.metrics.counter("gcs.dvs.views_attempted")
         self._registered = self.metrics.counter("gcs.dvs.views_registered")
@@ -91,6 +102,23 @@ class Observability:
             born = self._born.get(params[0])
             if born is not None and t is not None:
                 self._lat.observe(t - born)
+        elif name == "cbcast":
+            self._cb_bcasts.inc()
+        elif name == "cb_brcv":
+            self._cb_deliveries.inc()
+        elif name == "cb_label":
+            # Keyed on the per-view slot, not the message object: the
+            # application payload inside a CbCast may be unhashable.
+            key = message_key(params[0])
+            if t is not None and key is not None:
+                self._cb_born[key] = t
+                while len(self._cb_born) > self._latency_cap:
+                    self._cb_born.popitem(last=False)
+        elif name == "cb_deliver":
+            key = message_key(params[0])
+            born = None if key is None else self._cb_born.get(key)
+            if born is not None and t is not None:
+                self._cb_lat.observe(t - born)
 
     def wire_event(self, stage, pid, peer, msg, t):
         self.tracer.wire_event(stage, pid, peer, msg, t)

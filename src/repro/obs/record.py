@@ -23,6 +23,7 @@ Event kinds (``data`` layout):
 ``conn``   ``(component,)`` -- connectivity estimate reported upward
 ``timer``  ``(tag,)`` -- a stack timer fired (unused by the gcs layers)
 ``bcast``  ``(payload,)`` -- a client broadcast through the TO layer
+``cbcast``  ``(payload,)`` -- a client broadcast through the CB layer
 ``nemesis``  ``(description,)`` -- fault-plan annotation (not dispatched)
 ``stop``   ``()`` -- node shut down
 =========  =============================================================
@@ -42,11 +43,14 @@ TRACE_MAGIC = "dvs-trace"
 TRACE_VERSION = 2
 
 EVENT_KINDS = (
-    "start", "recv", "conn", "timer", "bcast", "nemesis", "stop",
+    "start", "recv", "conn", "timer", "bcast", "cbcast", "nemesis",
+    "stop",
 )
 
 #: Kinds replay feeds into a node's stack (the rest are annotations).
-DISPATCH_KINDS = ("start", "recv", "conn", "timer", "bcast", "stop")
+DISPATCH_KINDS = (
+    "start", "recv", "conn", "timer", "bcast", "cbcast", "stop",
+)
 
 
 class TraceError(ValueError):
@@ -281,12 +285,13 @@ class TraceRecorder:
             self.dropped += excess
 
     def on_action(self, time, action):
-        """ActionLog observer: captures client ``bcast`` downcalls (the
-        one stack input that enters through the log, not the node)."""
-        if action.name == "bcast":
+        """ActionLog observer: captures client ``bcast``/``cbcast``
+        downcalls (the stack inputs that enter through the log, not the
+        node)."""
+        if action.name in ("bcast", "cbcast"):
             payload, pid = action.params
             self.record(time if time is not None else 0.0, pid,
-                        "bcast", payload)
+                        action.name, payload)
 
     def trace(self, processes, initial_view, dvs="normal", source="live"):
         """Snapshot the recording as an immutable :class:`ReplayTrace`."""

@@ -1,6 +1,6 @@
-"""Causal span tracing across the VS -> DVS -> TO tower.
+"""Causal span tracing across the VS -> DVS -> {TO, CB} towers.
 
-One client broadcast crosses the stack as::
+One totally ordered client broadcast crosses the stack as::
 
     to_label     the TO layer mints the Label at the origin
     dvs_send     DVS-GPSND at the origin
@@ -14,16 +14,26 @@ One client broadcast crosses the stack as::
     dvs_deliver  DVS-GPRCV at the member
     to_deliver   TO confirms and releases the payload (BRCV)
 
-and the view lifecycle as ``vs_round`` (connectivity change starts a
-membership round) -> ``vs_form`` -> ``vs_install`` -> ``dvs_attempt``
--> ``to_established`` -> ``dvs_register``.
+A causal broadcast crosses the same substrate with its own root and
+release stages -- ``cb_label`` (the CB layer stamps the view-scoped
+vector clock) down through the identical dvs/vs/wire stages up to
+``cb_deliver`` (the hold-back queue releases the payload).  The stage
+decomposition is *tier-agnostic*: every delivery decomposes as
+``wire + vs + dvs + <tier> == total`` where ``<tier>`` is ``to`` or
+``cb`` (see :data:`TIERS`).
 
-The tracer never invents identifiers: message spans stitch on the
+The view lifecycle is traced as ``vs_round`` (connectivity change
+starts a membership round) -> ``vs_form`` -> ``vs_install`` ->
+``dvs_attempt`` -> ``to_established`` -> ``dvs_register``.
+
+The tracer never invents identifiers: TO message spans stitch on the
 :class:`~repro.to.summaries.Label` already carried inside Data/Ordered
-payloads, view spans on the :class:`~repro.core.viewids.ViewId` (and
-the leader's round id, linked to the view by the ``vs_form`` probe).
-Both the simulator and the live runtime therefore produce the same
-spans from the same wire traffic -- the tracer only listens.
+payloads, CB spans on the ``(vid, seqno, origin)`` slot a
+:class:`~repro.cb.messages.CbCast` determines, and view spans on the
+:class:`~repro.core.viewids.ViewId` (plus the leader's round id, linked
+to the view by the ``vs_form`` probe).  Both the simulator and the live
+runtime therefore produce the same spans from the same wire traffic --
+the tracer only listens.
 
 Every node appends into its own :class:`~repro.obs.spans.SpanRing`;
 stitching happens lazily at read time over ring snapshots.
@@ -32,6 +42,7 @@ stitching happens lazily at read time over ring snapshots.
 import json
 from types import MappingProxyType
 
+from repro.cb.messages import CbCast
 from repro.gcs.messages import Data, Install, Ordered
 from repro.obs.spans import SpanEvent, SpanRing
 from repro.to.summaries import Label
@@ -55,12 +66,20 @@ _PROBE_STAGES = MappingProxyType({
     "vs_seq": "vs_seq",
     "vs_round": "vs_round",
     "vs_form": "vs_form",
+    "cb_label": "cb_label",
+    "cb_deliver": "cb_deliver",
 })
+
+#: Stitch-key tag -> ordering-tier name.  Each tier's span roots at
+#: ``<tier>_label`` and completes at ``<tier>_deliver``; everything in
+#: between (dvs/vs/wire) is tier-independent.
+TIERS = MappingProxyType({"msg": "to", "cbmsg": "cb"})
 
 #: Message-span stage names, in causal order (for rendering).
 MESSAGE_STAGES = (
-    "to_label", "dvs_send", "vs_send", "wire_send", "wire_recv",
-    "vs_seq", "vs_deliver", "dvs_deliver", "to_deliver",
+    "to_label", "cb_label", "dvs_send", "vs_send", "wire_send",
+    "wire_recv", "vs_seq", "vs_deliver", "dvs_deliver", "to_deliver",
+    "cb_deliver",
 )
 
 #: View-span stage names, in causal order.
@@ -71,9 +90,16 @@ VIEW_STAGES = (
 
 
 def message_key(payload):
-    """The stitching key hidden in a VS/DVS payload, or ``None``."""
+    """The stitching key hidden in a VS/DVS payload, or ``None``.
+
+    CB casts key on their per-view slot ``(vid, seqno, origin)`` rather
+    than the message object itself: the payload field may be unhashable,
+    and the slot is exactly what CB content-consistency makes unique.
+    """
     if isinstance(payload, Label):
         return ("msg", payload)
+    if isinstance(payload, CbCast):
+        return ("cbmsg", (payload.vid, payload.seqno, payload.origin))
     if (
         isinstance(payload, tuple)
         and len(payload) == 2
@@ -155,6 +181,10 @@ class Tracer:
             return
         if name in ("to_label", "to_deliver"):
             self._emit(("msg", params[0]), stage, params[1], t)
+        elif name in ("cb_label", "cb_deliver"):
+            key = message_key(params[0])
+            if key is not None:
+                self._emit(key, stage, params[1], t)
         elif name in ("to_established", "dvs_register_view"):
             self._emit(("view", params[0]), stage, params[1], t)
         elif name == "vs_seq":
@@ -213,10 +243,15 @@ class Tracer:
     def deliveries(self):
         """One per-stage breakdown per ``(label, destination)`` pair.
 
-        Stage attribution (times in the host's clock unit, seconds):
+        Tier-agnostic: a row's ``tier`` is ``"to"`` or ``"cb"`` and its
+        ordering-layer stage is keyed by that tier name, so a TO
+        delivery decomposes as ``wire + vs + dvs + to == total`` and a
+        CB delivery as ``wire + vs + dvs + cb == total``.  Stage
+        attribution (times in the host's clock unit, seconds):
 
-        - ``to``   -- labelling at the origin plus confirmation at the
-          destination;
+        - ``to``/``cb`` -- labelling (Label mint / clock stamp) at the
+          origin plus confirmation (TO confirm / hold-back release) at
+          the destination;
         - ``dvs``  -- the primary filter, both directions;
         - ``wire`` -- transport time of the Data hop (origin ->
           sequencer) plus the Ordered hop (sequencer -> destination),
@@ -229,11 +264,14 @@ class Tracer:
         """
         rows = []
         for key, events in self._by_key().items():
-            if key[0] != "msg":
+            tier = TIERS.get(key[0])
+            if tier is None:
                 continue
             label = key[1]
-            label_ev = self._first(events, "to_label")
-            delivers = [e for e in events if e.stage == "to_deliver"]
+            label_ev = self._first(events, tier + "_label")
+            delivers = [
+                e for e in events if e.stage == tier + "_deliver"
+            ]
             if label_ev is None:
                 continue
             origin = label_ev.pid
@@ -265,7 +303,7 @@ class Tracer:
                                    peer=sequencer),
                     )
                 total = _delta(t0, deliver.t)
-                to_time = (
+                tier_time = (
                     _delta(t0, None if dvs_send is None else dvs_send.t)
                     + _delta(
                         None if dvs_del is None else dvs_del.t, deliver.t
@@ -283,31 +321,33 @@ class Tracer:
                     if hop is not None and None not in hop:
                         wire_time += _delta(hop[0].t, hop[1].t)
                 rows.append({
+                    "tier": tier,
                     "label": label,
                     "origin": origin,
                     "dst": dst,
                     "total": total,
                     "stages": {
-                        "to": to_time,
+                        tier: tier_time,
                         "dvs": dvs_time,
                         "wire": wire_time,
-                        "vs": total - to_time - dvs_time - wire_time,
+                        "vs": total - tier_time - dvs_time - wire_time,
                     },
                 })
-        rows.sort(key=lambda r: (str(r["label"]), r["dst"]))
+        rows.sort(key=lambda r: (r["tier"], str(r["label"]), r["dst"]))
         return rows
 
     def orphans(self):
-        """Deliveries whose span has no ``to_label`` root -- with the
-        rings sized to the run, there must be none."""
+        """Deliveries whose span has no ``to_label``/``cb_label`` root
+        -- with the rings sized to the run, there must be none."""
         bad = []
         for key, events in self._by_key().items():
-            if key[0] != "msg":
+            tier = TIERS.get(key[0])
+            if tier is None:
                 continue
-            if self._first(events, "to_label") is not None:
+            if self._first(events, tier + "_label") is not None:
                 continue
             for event in events:
-                if event.stage == "to_deliver":
+                if event.stage == tier + "_deliver":
                     bad.append((key[1], event.pid))
         return sorted(bad, key=lambda pair: (str(pair[0]), pair[1]))
 
@@ -347,20 +387,28 @@ class Tracer:
         rows = self.deliveries()
         summary = {
             "deliveries": len(rows),
-            "messages": len({str(r["label"]) for r in rows}),
+            "deliveries_by_tier": {
+                tier: sum(1 for r in rows if r["tier"] == tier)
+                for tier in sorted(set(TIERS.values()))
+            },
+            "messages": len({
+                (r["tier"], str(r["label"])) for r in rows
+            }),
             "orphans": len(self.orphans()),
             "views": sum(1 for k in self._by_key() if k[0] == "view"),
             "events_dropped": self.dropped(),
             "stages": {},
         }
-        for stage in ("wire", "vs", "dvs", "to", "total"):
+        for stage in ("wire", "vs", "dvs", "to", "cb", "total"):
             values = [
                 r["total"] if stage == "total" else r["stages"][stage]
                 for r in rows
+                if stage == "total" or stage in r["stages"]
             ]
             if not values:
                 continue
             summary["stages"][stage] = {
+                "count": len(values),
                 "mean_ms": 1e3 * sum(values) / len(values),
                 "p50_ms": 1e3 * _percentile(values, 0.50),
                 "p95_ms": 1e3 * _percentile(values, 0.95),
@@ -372,16 +420,22 @@ class Tracer:
 
     @staticmethod
     def _label_json(label):
-        return {
-            "vid": str(label.id),
-            "seqno": label.seqno,
-            "origin": label.origin,
-        }
+        """JSON form of a span root: a TO :class:`Label` or a CB
+        ``(vid, seqno, origin)`` slot -- the same three coordinates."""
+        if isinstance(label, Label):
+            return {
+                "vid": str(label.id),
+                "seqno": label.seqno,
+                "origin": label.origin,
+            }
+        vid, seqno, origin = label
+        return {"vid": str(vid), "seqno": seqno, "origin": origin}
 
     def to_json_dict(self):
         """The full trace as JSON-ready data (spans, views, summary)."""
         deliveries = [
             {
+                "tier": row["tier"],
                 "label": self._label_json(row["label"]),
                 "origin": row["origin"],
                 "dst": row["dst"],

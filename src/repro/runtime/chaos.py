@@ -58,9 +58,11 @@ def run_live_chaos(
     The cluster forms first (tolerantly: a plan that disrupts formation
     itself is legal), then the workload broadcasts one unique payload
     every ``broadcast_interval`` seconds from the live nodes in
-    rotation until ``duration`` (default: the plan's horizon plus a
-    settle margin) has elapsed, then the run settles and stops.
-    Violations are collected, never raised (``fail_fast=False``).
+    rotation -- alternating the ordering tier, even ticks through TO
+    and odd ticks through CB, so both towers face the same faults --
+    until ``duration`` (default: the plan's horizon plus a settle
+    margin) has elapsed, then the run settles and stops.  Violations
+    are collected, never raised (``fail_fast=False``).
     """
     processes = tuple(sorted(processes))
     plan = plan if isinstance(plan, NemesisPlan) else NemesisPlan(plan or ())
@@ -93,8 +95,10 @@ def run_live_chaos(
             pids = cluster.live()
             if pids:
                 pid = pids[counter % len(pids)]
+                ordering = "to" if counter % 2 == 0 else "cb"
                 try:
-                    cluster.bcast(pid, ("w", pid, counter))
+                    cluster.bcast(pid, ("w", pid, counter),
+                                  ordering=ordering)
                 except KeyError:
                     pass  # the node died between live() and the call
             counter += 1

@@ -43,10 +43,13 @@ class RuntimeCluster:
     ``app_factory`` (optional) builds one application object per node,
     e.g. ``lambda node: KvReplica(node.to)``; it is re-invoked on
     restart so the fresh incarnation starts with fresh state.
+    ``cb_app_factory`` is the same hook for the causal tier, e.g.
+    ``lambda node: PresenceBoard(node.cb)`` -- a node can host both.
     """
 
     def __init__(self, processes, host="127.0.0.1", monitor=True,
-                 app_factory=None, initial_view=None, hb_interval=0.05,
+                 app_factory=None, cb_app_factory=None, initial_view=None,
+                 hb_interval=0.05,
                  hb_timeout=0.25, queue_limit=4096, obs=None,
                  nemesis=None, faultnet=None, fault_seed=0,
                  dvs_factory=None, record=False):
@@ -59,6 +62,7 @@ class RuntimeCluster:
         self._hb_timeout = hb_timeout
         self._queue_limit = queue_limit
         self._app_factory = app_factory
+        self._cb_app_factory = cb_app_factory
         self._dvs_factory = dvs_factory
         self._clock = None
         if obs is True:
@@ -102,6 +106,7 @@ class RuntimeCluster:
         self._book = {}
         self._nodes = {}
         self._apps = {}
+        self._cb_apps = {}
         self._loop = None
         self._thread = None
 
@@ -129,6 +134,8 @@ class RuntimeCluster:
             await node.start(clock=self._clock)
             if self._app_factory is not None:
                 self._apps[pid] = self._app_factory(node)
+            if self._cb_app_factory is not None:
+                self._cb_apps[pid] = self._cb_app_factory(node)
         if self.nemesis is not None:
             self.nemesis.arm(self)
 
@@ -199,6 +206,7 @@ class RuntimeCluster:
         # _restart_async write the same dicts.
         node = self._nodes.pop(pid)
         self._apps.pop(pid, None)
+        self._cb_apps.pop(pid, None)
         await node.stop()
 
     def restart(self, pid, timeout=CALL_TIMEOUT):
@@ -214,6 +222,8 @@ class RuntimeCluster:
         await node.start(clock=self._clock)
         if self._app_factory is not None:
             self._apps[pid] = self._app_factory(node)
+        if self._cb_app_factory is not None:
+            self._cb_apps[pid] = self._cb_app_factory(node)
 
     # -- Nemesis surface (called on the loop thread) -----------------------
 
@@ -244,14 +254,23 @@ class RuntimeCluster:
 
     # -- Client surface ----------------------------------------------------
 
-    def bcast(self, pid, payload, timeout=CALL_TIMEOUT):
-        """Totally ordered broadcast through ``pid``'s TO layer."""
-        # The node lookup must happen inside the marshalled callable:
-        # evaluating self._nodes[pid].to here would read loop-owned
-        # state on the caller thread.
-        self._call(
-            lambda: self._nodes[pid].to.bcast(payload), timeout=timeout
-        )
+    def bcast(self, pid, payload, ordering="to", timeout=CALL_TIMEOUT):
+        """Broadcast through ``pid`` with the chosen ordering strength:
+        ``"to"`` (totally ordered) or ``"cb"`` (causally ordered)."""
+        if ordering == "to":
+            # The node lookup must happen inside the marshalled
+            # callable: evaluating self._nodes[pid].to here would read
+            # loop-owned state on the caller thread.
+            call = lambda: self._nodes[pid].to.bcast(payload)  # noqa: E731
+        elif ordering == "cb":
+            call = lambda: self._nodes[pid].cb.cbcast(payload)  # noqa: E731
+        else:
+            raise ValueError(
+                "unknown ordering {0!r} (expected 'to' or 'cb')".format(
+                    ordering
+                )
+            )
+        self._call(call, timeout=timeout)
         return self
 
     def call_node(self, pid, fn, timeout=CALL_TIMEOUT):
@@ -262,10 +281,18 @@ class RuntimeCluster:
         """Run ``fn(app)`` on the loop thread and return its result."""
         return self._call(lambda: fn(self._apps[pid]), timeout=timeout)
 
+    def call_cb_app(self, pid, fn, timeout=CALL_TIMEOUT):
+        """Run ``fn(cb_app)`` on the loop thread and return its result."""
+        return self._call(lambda: fn(self._cb_apps[pid]), timeout=timeout)
+
     def app(self, pid):
         # Benign race: a single GIL-atomic dict lookup, and the only
         # loop-side writers key it by pid before the caller can know it.
         return self._apps[pid]  # lint: ignore[DVS012]
+
+    def cb_app(self, pid):
+        # Benign race: same single GIL-atomic dict lookup as app().
+        return self._cb_apps[pid]  # lint: ignore[DVS012]
 
     def live(self):
         """Ids of the currently running nodes, sorted."""
@@ -338,6 +365,19 @@ class RuntimeCluster:
     def delivery_count(self, pid):
         """Deliveries of the *current* incarnation of ``pid``."""
         return self.call_node(pid, lambda node: node.to.nextreport - 1)
+
+    def cb_delivered(self, pid):
+        """All causally ordered deliveries recorded at ``pid`` -- across
+        every incarnation (the shared log never forgets)."""
+        return self._call(lambda: [
+            (a.params[0].payload, a.params[1])
+            for a in self.log.actions
+            if a.name == "cb_brcv" and a.params[2] == pid
+        ])
+
+    def cb_delivery_count(self, pid):
+        """CB deliveries of the *current* incarnation of ``pid``."""
+        return self.call_node(pid, lambda node: node.cb.deliveries)
 
     @property
     def violations(self):

@@ -27,8 +27,8 @@ Every value is encoded as a JSON array ``[tag, ...]``:
 
 The ``"@"`` tag covers exactly the message dataclasses of the stack
 (:data:`WIRE_TYPES`): the VS wire messages, the DVS protocol messages,
-the TO labels/summaries, views and view identifiers, and the runtime's
-own control messages.  Sets and dictionaries are serialized in a
+the TO labels/summaries, the CB casts, views and view identifiers, and
+the runtime's own control messages.  Sets and dictionaries are serialized in a
 canonical order so that encoding is deterministic: the same value always
 produces the same bytes, which keeps wire logs diffable across runs.
 """
@@ -40,6 +40,7 @@ import struct
 from dataclasses import dataclass, fields
 from types import MappingProxyType
 
+from repro.cb.messages import CbCast
 from repro.core.messages import InfoMsg, RegisteredMsg
 from repro.core.viewids import ViewId
 from repro.core.views import View
@@ -55,8 +56,23 @@ from repro.gcs.messages import (
 )
 from repro.to.summaries import Label, Summary
 
-#: Bumped on any incompatible change to the frame or body layout.
-WIRE_VERSION = 1
+#: Bumped on any incompatible change to the frame or body layout, and
+#: on any extension of the type registry (a peer speaking an older
+#: version would reject the new ``"@"`` references as unknown types, so
+#: additions are versioned too).  Version history:
+#:
+#: - ``1`` -- the original registry (VS/DVS/TO messages plus runtime
+#:   control frames);
+#: - ``2`` -- adds :class:`~repro.cb.messages.CbCast` for the causal
+#:   broadcast tier.  Bodies are otherwise identical, so version-1
+#:   frames decode unchanged (see :data:`SUPPORTED_WIRE_VERSIONS`).
+WIRE_VERSION = 2
+
+#: Body versions this decoder accepts.  Encoding always stamps
+#: :data:`WIRE_VERSION`; decoding tolerates the older layouts that are
+#: strict subsets of the current one, so mixed-version clusters keep
+#: talking during a rolling upgrade.
+SUPPORTED_WIRE_VERSIONS = (1, 2)
 
 #: Frames longer than this are rejected before buffering (a garbage
 #: length prefix must not make the reader allocate gigabytes).
@@ -87,6 +103,7 @@ WIRE_TYPES = (
     InfoMsg, RegisteredMsg, AckMsg,
     Collect, StateReply, Install, Data, Ordered, Ack, SafeNote,
     Label, Summary,
+    CbCast,
     Hello, Heartbeat,
 )
 
@@ -158,6 +175,12 @@ WIRE_SCHEMA = MappingProxyType({
         ("ord", "Tuple[Label, ...]"),
         ("next", "int"),
         ("high", "ViewId"),
+    ),
+    "CbCast": (
+        ("vid", "ViewId"),
+        ("clock", "Tuple[Tuple[str, int], ...]"),
+        ("payload", "object"),
+        ("origin", "str"),
     ),
     "Hello": (
         ("pid", "str"),
@@ -424,11 +447,10 @@ def decode(data):
     """Decode a body produced by :func:`encode`."""
     if not isinstance(data, (bytes, bytearray)) or len(data) < 2:
         raise CodecError("truncated body")
-    if data[0] != WIRE_VERSION:
+    if data[0] not in SUPPORTED_WIRE_VERSIONS:
         raise CodecError(
-            "unsupported wire version {0} (speaking {1})".format(
-                data[0], WIRE_VERSION
-            )
+            "unsupported wire version {0} (speaking {1}, accepting {2})"
+            .format(data[0], WIRE_VERSION, SUPPORTED_WIRE_VERSIONS)
         )
     try:
         document = json.loads(bytes(data[1:]).decode("utf-8"))

@@ -1,10 +1,14 @@
-"""One live process of the stack: the VS→DVS→TO tower on real sockets.
+"""One live process of the stack: the VS→DVS→{TO,CB} towers on real
+sockets.
 
 :class:`RuntimeNode` hosts the *unchanged* layer stack of
 :mod:`repro.gcs` -- the same :class:`~repro.gcs.vs_stack.VsStackNode`,
-:class:`~repro.gcs.dvs_layer.DvsLayer` and
-:class:`~repro.gcs.to_layer.ToLayer` objects the simulator drives --
-behind a duck-typed stand-in for :class:`repro.net.simulator.Network`:
+:class:`~repro.gcs.dvs_layer.DvsLayer`,
+:class:`~repro.gcs.to_layer.ToLayer` and
+:class:`~repro.gcs.cb_layer.CbLayer` objects the simulator drives, with
+both ordering towers sharing the DVS layer through a
+:class:`~repro.gcs.cb_layer.DvsFanout` -- behind a duck-typed stand-in
+for :class:`repro.net.simulator.Network`:
 
 - ``send``/``broadcast`` go through per-peer reconnecting TCP links
   (:class:`~repro.runtime.transport.PeerLink`);
@@ -20,6 +24,8 @@ Nothing above the transport knows it left the simulator.
 import asyncio
 from collections import deque
 
+from repro.cb.messages import CbCast
+from repro.gcs.cb_layer import CbLayer, DvsFanout
 from repro.gcs.dvs_layer import DvsLayer
 from repro.gcs.to_layer import ToLayer
 from repro.gcs.vs_stack import VsStackNode
@@ -91,7 +97,8 @@ class RuntimeNode:
     """
 
     def __init__(self, pid, book, initial_view, recorder=None,
-                 listener=None, member=None, host="127.0.0.1", port=0,
+                 listener=None, cb_listener=None, member=None,
+                 host="127.0.0.1", port=0,
                  hb_interval=0.05, hb_timeout=None, queue_limit=QUEUE_LIMIT,
                  obs=None, faultnet=None, wiretap=None, dvs_factory=None):
         self.pid = pid
@@ -139,9 +146,14 @@ class RuntimeNode:
         self.dvs = dvs_cls(
             self.stack, initial_view, recorder=recorder, member=member
         )
+        self.fanout = DvsFanout(self.dvs)
         self.to = ToLayer(
-            self.dvs, initial_view, listener=listener, recorder=recorder,
-            member=member,
+            self.fanout.port(), initial_view, listener=listener,
+            recorder=recorder, member=member,
+        )
+        self.cb = CbLayer(
+            self.fanout.port(claims=CbCast), initial_view,
+            listener=cb_listener, recorder=recorder, member=member,
         )
         #: Exceptions raised by the hosted layers while handling events;
         #: they are recorded (not propagated) so one bad frame cannot

@@ -5,7 +5,9 @@ Two modes share the wire protocol and the hosted layer stack:
 ``repro serve`` (loopback demo, the default)
     Boots an in-process :class:`~repro.runtime.cluster.RuntimeCluster`
     of N nodes on 127.0.0.1, drives a replicated key-value workload
-    through totally ordered broadcast -- optionally killing and
+    through totally ordered broadcast *and* a presence/typing channel
+    through causal broadcast (each node hosts both towers; the client
+    picks the ordering strength per send) -- optionally killing and
     rejoining one node mid-run -- and prints the per-node outcome plus
     the online safety monitor's verdict.  Exit status reflects that
     verdict, so the command doubles as a smoke test of the live path.
@@ -23,6 +25,7 @@ import asyncio
 import time
 
 from repro.apps.kv_store import KvReplica
+from repro.apps.presence import PresenceBoard
 from repro.core.viewids import ViewId
 from repro.core.views import View
 from repro.runtime.cluster import RuntimeCluster
@@ -57,7 +60,8 @@ def _parse_peers(specs):
 def run_loopback(processes=3, requests=60, kill=True, hb_interval=0.05,
                  hb_timeout=0.25, timeout=30.0, metrics_json=None,
                  trace_json=None, echo=print):
-    """The self-contained demo: N live nodes, a KV workload, one crash.
+    """The self-contained demo: N live nodes, a KV workload over TO, a
+    presence channel over CB, one crash.
 
     ``metrics_json``/``trace_json`` arm the observability layer and
     write its snapshots to the given paths when the run finishes.
@@ -70,6 +74,7 @@ def run_loopback(processes=3, requests=60, kill=True, hb_interval=0.05,
     cluster = RuntimeCluster(
         pids,
         app_factory=lambda node: KvReplica(node.to),
+        cb_app_factory=lambda node: PresenceBoard(node.cb),
         hb_interval=hb_interval,
         hb_timeout=hb_timeout,
         obs=True if observe else None,
@@ -83,6 +88,9 @@ def run_loopback(processes=3, requests=60, kill=True, hb_interval=0.05,
         cluster.wait_formation(timeout=timeout)
         echo("primary view formed over {0}".format(pids))
 
+        _presence_round(cluster, pids, "online", timeout)
+        echo("presence board converged over CB ({0} all online)".format(
+            pids))
         sent = _drive(cluster, pids, 0, first, timeout)
         if first < requests:
             echo("killing {0} mid-run...".format(victim))
@@ -99,13 +107,20 @@ def run_loopback(processes=3, requests=60, kill=True, hb_interval=0.05,
             _wait_applied(cluster, pids, sent, timeout)
             echo("{0} rejoined and caught up via state transfer".format(
                 victim))
+            _presence_round(cluster, pids, "back", timeout)
+            echo("presence board repaired after rejoin "
+                 "(fresh announcements over CB)")
 
         for pid in cluster.live():
-            echo("  {0}: {1} commands applied, kv size {2}".format(
-                pid,
-                cluster.call_app(pid, lambda app: app.log_length),
-                cluster.call_app(pid, lambda app: len(app.snapshot())),
-            ))
+            echo("  {0}: {1} commands applied, kv size {2}, "
+                 "presence {3}/{4}".format(
+                     pid,
+                     cluster.call_app(pid, lambda app: app.log_length),
+                     cluster.call_app(pid, lambda app: len(app.snapshot())),
+                     cluster.call_cb_app(
+                         pid, lambda app: len(app.board())),
+                     len(pids),
+                 ))
         if observe:
             _export_observability(
                 cluster, metrics_json, trace_json, echo
@@ -143,6 +158,30 @@ def _export_observability(cluster, metrics_json, trace_json, echo):
             json.dump(trace, handle, indent=2, sort_keys=True)
             handle.write("\n")
         echo("trace JSON written to {0}".format(trace_json))
+
+
+def _presence_round(cluster, pids, status, timeout):
+    """Every node announces ``status`` over CB and flips a typing
+    indicator; wait until every board shows every member at ``status``
+    and nobody typing (start-then-stop arrives in that order: per-sender
+    causal FIFO)."""
+    for pid in pids:
+        cluster.call_cb_app(pid, lambda app: app.typing(True))
+        cluster.call_cb_app(
+            pid, lambda app, s=status: app.announce(s)
+        )
+        cluster.call_cb_app(pid, lambda app: app.typing(False))
+
+    def converged():
+        return all(
+            cluster.cb_app(p).status_of(q) == status
+            for p in pids for q in pids
+        ) and all(not cluster.cb_app(p).typing_now() for p in pids)
+
+    cluster.wait_until(
+        converged, timeout=timeout,
+        what="presence board convergence on {0}".format(sorted(pids)),
+    )
 
 
 def _drive(cluster, pids, start, count, timeout):

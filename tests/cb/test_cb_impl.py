@@ -1,0 +1,77 @@
+"""Execution tests for CB-IMPL: view-scoped invariants and traces."""
+
+import pytest
+
+from repro.core import make_view
+from repro.checking import (
+    build_closed_cb_impl,
+    check_cb_trace_properties,
+    random_view_pool,
+)
+from repro.ioa import run_random
+from repro.cb import cb_impl_invariants
+from repro.cb.impl import CbImplState, build_cb_impl
+
+WEIGHTS = {"dvs_createview": 0.05, "dvs_newview": 0.5, "cbcast": 1.0}
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_invariants_under_view_churn(self, seed):
+        universe = ["p1", "p2", "p3"]
+        v0 = make_view(0, universe)
+        pool = random_view_pool(universe, 4, seed=seed + 100, min_size=2)
+        system, procs = build_closed_cb_impl(
+            v0, universe, view_pool=pool, budget=3
+        )
+        ex = run_random(system, 4000, seed=seed, weights=WEIGHTS)
+        cb_impl_invariants(procs).check_execution(ex)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_larger_universe(self, seed):
+        universe = ["p1", "p2", "p3", "p4"]
+        v0 = make_view(0, universe)
+        pool = random_view_pool(universe, 3, seed=seed + 9, min_size=3)
+        system, procs = build_closed_cb_impl(
+            v0, universe, view_pool=pool, budget=2
+        )
+        ex = run_random(system, 5000, seed=seed, weights=WEIGHTS)
+        cb_impl_invariants(procs).check_execution(ex)
+
+
+class TestStableCase:
+    def test_quiet_network_delivers_everything_causally(self):
+        """With no view changes the full causal checker applies and
+        every broadcast is delivered to every member."""
+        universe = ["p1", "p2", "p3"]
+        v0 = make_view(0, universe)
+        system, procs = build_closed_cb_impl(v0, universe, budget=2)
+        ex = run_random(system, 6000, seed=1, weights=WEIGHTS)
+        cb_impl_invariants(procs).check_execution(ex)
+        stats = check_cb_trace_properties(ex.trace())
+        assert stats["broadcasts"] == 6
+        assert stats["deliveries"] == 6 * 3
+
+    def test_trace_properties_hold_under_churn_per_view(self):
+        """Across view changes the external trace is only best-effort,
+        but the view-scoped invariants (incl. per-sender prefix
+        consistency on the history variable) must still hold."""
+        universe = ["p1", "p2", "p3"]
+        v0 = make_view(0, universe)
+        pool = random_view_pool(universe, 5, seed=77, min_size=2)
+        system, procs = build_closed_cb_impl(
+            v0, universe, view_pool=pool, budget=3
+        )
+        ex = run_random(system, 8000, seed=3, weights=WEIGHTS)
+        cb_impl_invariants(procs).check_execution(ex)
+
+
+class TestImplState:
+    def test_named_access(self):
+        universe = ["p1", "p2"]
+        v0 = make_view(0, universe)
+        impl = build_cb_impl(v0, universe)
+        state = CbImplState(impl.initial_state(), universe)
+        assert state.app("p1").current == v0
+        assert state.app("p1").delivered == ()
+        assert state.dvs is not None

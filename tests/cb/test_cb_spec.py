@@ -1,0 +1,76 @@
+"""Unit tests for the CB service specification."""
+
+import pytest
+
+from repro.ioa import act
+from repro.cb import CBSpec
+
+
+@pytest.fixture
+def cb():
+    return CBSpec(["p1", "p2"])
+
+
+class TestBroadcast:
+    def test_cbcast_records_send_and_past(self, cb):
+        s = cb.initial_state()
+        s = cb.apply(s, act("cbcast", "a", "p1"))
+        assert s.sent["p1"] == ["a"]
+        assert s.past[("p1", 0)] == frozenset()
+        assert ("p1", 0) in s.knowledge["p1"]
+
+    def test_own_broadcasts_enter_the_causal_past(self, cb):
+        s = cb.initial_state()
+        s = cb.apply(s, act("cbcast", "a1", "p1"))
+        s = cb.apply(s, act("cbcast", "a2", "p1"))
+        assert s.past[("p1", 1)] == frozenset({("p1", 0)})
+
+
+class TestDelivery:
+    def test_per_sender_fifo(self, cb):
+        s = cb.initial_state()
+        s = cb.apply(s, act("cbcast", "a1", "p1"))
+        s = cb.apply(s, act("cbcast", "a2", "p1"))
+        # a2 is not next from p1 at p2.
+        assert not cb.is_enabled(s, act("cb_brcv", "a2", "p1", "p2"))
+        s = cb.apply(s, act("cb_brcv", "a1", "p1", "p2"))
+        assert cb.is_enabled(s, act("cb_brcv", "a2", "p1", "p2"))
+
+    def test_causal_gating_across_senders(self, cb):
+        s = cb.initial_state()
+        s = cb.apply(s, act("cbcast", "a", "p1"))
+        s = cb.apply(s, act("cb_brcv", "a", "p1", "p2"))
+        # p2's broadcast now causally depends on p1's.
+        s = cb.apply(s, act("cbcast", "b", "p2"))
+        assert not cb.is_enabled(s, act("cb_brcv", "b", "p2", "p1"))
+        s = cb.apply(s, act("cb_brcv", "a", "p1", "p1"))
+        assert cb.is_enabled(s, act("cb_brcv", "b", "p2", "p1"))
+
+    def test_concurrent_broadcasts_deliver_in_either_order(self, cb):
+        s = cb.initial_state()
+        s = cb.apply(s, act("cbcast", "a", "p1"))
+        s = cb.apply(s, act("cbcast", "b", "p2"))
+        # Neither saw the other: both deliverable at p1 right away.
+        assert cb.is_enabled(s, act("cb_brcv", "a", "p1", "p1"))
+        assert cb.is_enabled(s, act("cb_brcv", "b", "p2", "p1"))
+
+    def test_attribution_enforced(self, cb):
+        s = cb.initial_state()
+        s = cb.apply(s, act("cbcast", "a", "p1"))
+        assert not cb.is_enabled(s, act("cb_brcv", "a", "p2", "p1"))
+
+    def test_delivery_advances_pointer(self, cb):
+        s = cb.initial_state()
+        s = cb.apply(s, act("cbcast", "a", "p1"))
+        s = cb.apply(s, act("cb_brcv", "a", "p1", "p2"))
+        assert s.next["p2"]["p1"] == 1
+        assert s.next["p1"]["p1"] == 0
+
+    def test_candidates_enumerate_exactly_enabled_deliveries(self, cb):
+        s = cb.initial_state()
+        s = cb.apply(s, act("cbcast", "a", "p1"))
+        candidates = set(cb.cand_cb_brcv(s))
+        assert candidates == {
+            act("cb_brcv", "a", "p1", "p1"),
+            act("cb_brcv", "a", "p1", "p2"),
+        }

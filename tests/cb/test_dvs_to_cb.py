@@ -1,0 +1,151 @@
+"""Unit tests for the ``DVS-TO-CB_p`` automaton."""
+
+import pytest
+
+from repro.cb.dvs_to_cb import DvsToCb
+from repro.cb.messages import CbCast
+from repro.core import make_view
+from repro.ioa import act
+
+
+@pytest.fixture
+def v0():
+    return make_view(0, ["p1", "p2"])
+
+
+@pytest.fixture
+def auto(v0):
+    return DvsToCb("p1", v0)
+
+
+def cast(view, clock, payload, origin):
+    return CbCast(view.id, tuple(clock), payload, origin)
+
+
+class TestTimestamping:
+    def test_cbcast_delays_then_label_stamps(self, auto, v0):
+        s = auto.initial_state()
+        s = auto.apply(s, act("cbcast", "a", "p1"))
+        assert s.delay == ["a"]
+        s = auto.apply(s, act("cb_label", "a", "p1"))
+        assert s.delay == []
+        assert s.sent == 1
+        (msg,) = s.buffer
+        assert msg == cast(v0, [("p1", 1)], "a", "p1")
+
+    def test_label_includes_delivered_past(self, auto, v0):
+        s = auto.initial_state()
+        s = auto.apply(
+            s, act("dvs_gprcv", cast(v0, [("p2", 1)], "x", "p2"),
+                   "p2", "p1")
+        )
+        s = auto.apply(s, act("cb_brcv", "x", "p2", "p1"))
+        s = auto.apply(s, act("cbcast", "a", "p1"))
+        s = auto.apply(s, act("cb_label", "a", "p1"))
+        (msg,) = s.buffer
+        assert msg.clock == (("p1", 1), ("p2", 1))
+
+    def test_label_requires_a_current_view(self, v0):
+        auto = DvsToCb("p3", v0)  # not an initial member
+        s = auto.initial_state()
+        s = auto.apply(s, act("cbcast", "a", "p3"))
+        assert not auto.is_enabled(s, act("cb_label", "a", "p3"))
+        assert list(auto.cand_cb_label(s)) == []
+
+    def test_gpsnd_ships_the_buffer_head(self, auto, v0):
+        s = auto.initial_state()
+        s = auto.apply(s, act("cbcast", "a", "p1"))
+        s = auto.apply(s, act("cb_label", "a", "p1"))
+        (msg,) = s.buffer
+        assert list(auto.cand_dvs_gpsnd(s)) == [
+            act("dvs_gpsnd", msg, "p1")
+        ]
+        s = auto.apply(s, act("dvs_gpsnd", msg, "p1"))
+        assert s.buffer == []
+
+
+class TestDelivery:
+    def test_bss_condition_gates_release(self, auto, v0):
+        s = auto.initial_state()
+        dep = cast(v0, [("p1", 0), ("p2", 2)], "b2", "p2")
+        s = auto.apply(s, act("dvs_gprcv", dep, "p2", "p1"))
+        # Second cast from p2 cannot go first.
+        assert list(auto.cand_cb_brcv(s)) == []
+        first = cast(v0, [("p2", 1)], "b1", "p2")
+        s = auto.apply(s, act("dvs_gprcv", first, "p2", "p1"))
+        assert list(auto.cand_cb_brcv(s)) == [
+            act("cb_brcv", "b1", "p2", "p1")
+        ]
+        s = auto.apply(s, act("cb_brcv", "b1", "p2", "p1"))
+        s = auto.apply(s, act("cb_brcv", "b2", "p2", "p1"))
+        assert s.delivered == (("p2", 2),)
+        assert s.holdback == []
+
+    def test_history_records_per_view_deliveries(self, auto, v0):
+        s = auto.initial_state()
+        s = auto.apply(
+            s, act("dvs_gprcv", cast(v0, [("p2", 1)], "b", "p2"),
+                   "p2", "p1")
+        )
+        s = auto.apply(s, act("cb_brcv", "b", "p2", "p1"))
+        assert s.history.get(v0.id) == (("b", "p2"),)
+
+    def test_wrong_view_casts_are_ignored(self, auto, v0):
+        v1 = make_view(1, ["p1", "p2"])
+        s = auto.initial_state()
+        s = auto.apply(
+            s, act("dvs_gprcv", cast(v1, [("p2", 1)], "b", "p2"),
+                   "p2", "p1")
+        )
+        assert s.holdback == []
+
+    def test_non_cast_payloads_are_ignored(self, auto):
+        s = auto.initial_state()
+        s = auto.apply(s, act("dvs_gprcv", ("to", "summary"), "p2", "p1"))
+        assert s.holdback == []
+
+    def test_safe_indications_are_unused(self, auto, v0):
+        s = auto.initial_state()
+        msg = cast(v0, [("p2", 1)], "b", "p2")
+        s = auto.apply(s, act("dvs_gprcv", msg, "p2", "p1"))
+        before = s.copy()
+        s = auto.apply(s, act("dvs_safe", msg, "p2", "p1"))
+        assert s == before
+
+
+class TestRecovery:
+    def test_newview_resets_clock_and_drops_holdback(self, auto, v0):
+        v1 = make_view(1, ["p1", "p2"])
+        s = auto.initial_state()
+        s = auto.apply(
+            s, act("dvs_gprcv", cast(v0, [("p2", 1)], "b", "p2"),
+                   "p2", "p1")
+        )
+        s = auto.apply(s, act("cb_brcv", "b", "p2", "p1"))
+        s = auto.apply(s, act("dvs_newview", v1, "p1"))
+        assert s.current == v1
+        assert s.delivered == ()
+        assert s.sent == 0
+        assert s.holdback == []
+        # History survives: it is the record the invariants read.
+        assert s.history.get(v0.id) == (("b", "p2"),)
+
+    def test_registration_is_immediate_and_once(self, auto, v0):
+        v1 = make_view(1, ["p1", "p2"])
+        s = auto.initial_state()
+        s = auto.apply(s, act("dvs_newview", v1, "p1"))
+        assert list(auto.cand_dvs_register(s)) == [
+            act("dvs_register", "p1")
+        ]
+        s = auto.apply(s, act("dvs_register", "p1"))
+        assert list(auto.cand_dvs_register(s)) == []
+
+    def test_delayed_payloads_survive_into_the_new_view(self, auto, v0):
+        v1 = make_view(1, ["p1", "p2"])
+        s = auto.initial_state()
+        s = auto.apply(s, act("cbcast", "a", "p1"))
+        s = auto.apply(s, act("dvs_newview", v1, "p1"))
+        s = auto.apply(s, act("cb_label", "a", "p1"))
+        (msg,) = s.buffer
+        assert msg.vid == v1.id
+        assert msg.clock == (("p1", 1),)

@@ -2,6 +2,8 @@
 
 from .messages import Ping, Pong  # noqa: F401 - registry references
 
+WIRE_VERSION = 3
+
 WIRE_TYPES = (Ping, Pong)
 
 WIRE_SCHEMA = {

@@ -80,10 +80,7 @@ _MUTATIONS = {
         {"DVS013"},
     ),
     "bcast_wrap": (
-        "self._call(\n"
-        "            lambda: self._nodes[pid].to.bcast(payload),"
-        " timeout=timeout\n"
-        "        )",
+        "self._call(call, timeout=timeout)",
         "self._nodes[pid].to.bcast(payload)",
         {"DVS012"},
     ),
@@ -119,12 +116,7 @@ def test_bcast_unwrap_flags_the_loop_owned_call():
     with open(os.path.join(SRC_RUNTIME, "cluster.py"),
               encoding="utf-8") as handle:
         source = handle.read()
-    original = (
-        "self._call(\n"
-        "            lambda: self._nodes[pid].to.bcast(payload),"
-        " timeout=timeout\n"
-        "        )"
-    )
+    original = "self._call(call, timeout=timeout)"
     assert original in source, "mutation anchor drifted"
     mutated = source.replace(
         original, "self._nodes[pid].to.bcast(payload)"

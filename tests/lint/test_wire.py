@@ -41,6 +41,61 @@ def test_drifted_tree_reports_every_divergence():
     assert all(p.endswith("messages.py") for p in drift_paths)
 
 
+def test_findings_carry_schema_version_context():
+    """DVS015 findings are stamped with the codec's WIRE_VERSION, so
+    their baseline fingerprints are version-scoped."""
+    report = lint_paths(
+        [fixture_path("wire_drift")], config=_config("wire_drift")
+    )
+    assert report.findings
+    assert all(f.context == "wire-schema-v3" for f in report.findings)
+    assert all(
+        f.fingerprint() == (f.rule, f.path, f.message, "wire-schema-v3")
+        for f in report.findings
+    )
+    assert all(
+        entry["context"] == "wire-schema-v3"
+        for entry in report.to_dict()["findings"]
+    )
+
+
+def test_schema_bump_retires_stale_baseline_entries():
+    """A baseline recorded against the previous wire version must not
+    waive the same drift re-surfacing after a version bump."""
+    report = lint_paths(
+        [fixture_path("wire_drift")], config=_config("wire_drift")
+    )
+    assert not report.ok
+    stale = [
+        dict(entry, context="wire-schema-v2")
+        for entry in report.to_dict()["findings"]
+    ]
+    rebased = report.apply_baseline(stale)
+    assert len(rebased.findings) == len(report.findings)
+    assert rebased.baselined == 0
+    # The matching version does waive them.
+    current = report.apply_baseline(report.to_dict())
+    assert current.ok
+    assert current.baselined == len(report.findings)
+
+
+def test_legacy_baseline_entries_without_context_still_apply():
+    """Baselines written before the context field exist: entries with
+    no ``context`` key match findings with an empty context."""
+    from repro.lint.report import Finding, Report
+
+    finding = Finding(
+        rule="DVS001", path="src/x.py", line=3, col=0,
+        message="some message",
+    )
+    report = Report([finding], files_scanned=1)
+    legacy_entry = {k: v for k, v in finding.to_dict().items()}
+    assert "context" not in legacy_entry
+    rebased = report.apply_baseline([legacy_entry])
+    assert rebased.ok
+    assert rebased.baselined == 1
+
+
 def test_missing_registry_is_reported(tmp_path):
     codec = tmp_path / "codec.py"
     codec.write_text('"""codec without a registry."""\nX = 1\n')

@@ -30,6 +30,7 @@ from repro.gcs.messages import (
     SafeNote,
     StateReply,
 )
+from repro.cb.messages import CbCast
 from repro.runtime.codec import (
     MAX_FRAME,
     WIRE_TYPES,
@@ -71,6 +72,7 @@ EXAMPLES = [
         2,
         V2,
     ),
+    CbCast(V2, (("p1", 2), ("p2", 5)), ("typing", True), "p2"),
     Hello("p9"),
     Heartbeat(),
 ]

@@ -1,0 +1,100 @@
+"""Wire-schema migration: version 1 -> 2 (the CbCast addition).
+
+Adding a message type is a *versioned* change in this codec: an
+older peer rejects unknown ``@`` type references, so v2 speakers must
+(a) still accept v1 bodies byte-for-byte and (b) refuse versions they
+do not know, with a typed error naming both sides.  The golden bytes
+below are literal v1-era frames -- they must keep decoding forever.
+"""
+
+import pytest
+
+from repro.cb.messages import CbCast
+from repro.core.viewids import ViewId
+from repro.runtime.codec import (
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_SCHEMA,
+    WIRE_TYPES,
+    WIRE_VERSION,
+    CodecError,
+    decode,
+    decode_frame,
+    encode,
+    encode_frame,
+    schema_drift,
+    validate_message,
+)
+
+#: Literal bodies produced by the version-1 codec (before CbCast
+#: existed).  Golden: do not regenerate from the current encoder.
+GOLDEN_V1_TUPLE = b'\x01["t",[["s","w"],["s","n1"],["i",3]]]'
+GOLDEN_V1_VIEWID = b'\x01["@","ViewId",[["i",0],["s",""]]]'
+
+
+class TestVersioning:
+    def test_current_version_and_acceptance_window(self):
+        assert WIRE_VERSION == 2
+        assert SUPPORTED_WIRE_VERSIONS == (1, 2)
+        assert WIRE_VERSION in SUPPORTED_WIRE_VERSIONS
+
+    def test_encode_stamps_the_current_version(self):
+        assert encode(("w", "n1", 3))[0] == WIRE_VERSION
+
+    def test_golden_v1_bodies_still_decode(self):
+        assert decode(GOLDEN_V1_TUPLE) == ("w", "n1", 3)
+        assert decode(GOLDEN_V1_VIEWID) == ViewId(0, "")
+
+    def test_future_version_is_rejected_with_both_sides_named(self):
+        body = bytes([3]) + encode(("x",))[1:]
+        with pytest.raises(CodecError) as err:
+            decode(body)
+        message = str(err.value)
+        assert "unsupported wire version 3" in message
+        assert "speaking 2" in message
+        assert "(1, 2)" in message
+
+    def test_version_zero_is_rejected(self):
+        body = bytes([0]) + encode(("x",))[1:]
+        with pytest.raises(CodecError):
+            decode(body)
+
+
+class TestCbCastOnTheWire:
+    def cast(self):
+        return CbCast(
+            ViewId(4, "n2"),
+            (("n1", 2), ("n2", 5)),
+            ("presence", "online"),
+            "n2",
+        )
+
+    def test_round_trip(self):
+        cast = self.cast()
+        assert decode(encode(cast)) == cast
+
+    def test_frame_round_trip(self):
+        cast = self.cast()
+        assert decode_frame(encode_frame(cast)) == cast
+
+    def test_registered_and_pinned(self):
+        assert CbCast in WIRE_TYPES
+        assert WIRE_SCHEMA["CbCast"] == (
+            ("vid", "ViewId"),
+            ("clock", "Tuple[Tuple[str, int], ...]"),
+            ("payload", "object"),
+            ("origin", "str"),
+        )
+        assert not schema_drift()
+
+    def test_validates(self):
+        assert validate_message(self.cast())
+
+    def test_v1_peer_would_reject_it(self):
+        """The reason the addition is versioned: a CbCast body names a
+        type a v1 decoder does not know.  Simulate that decoder (same
+        scheme, no CbCast registration) via a malformed reference."""
+        body = encode(self.cast())
+        tampered = body.replace(b'"CbCast"', b'"CbXast"')
+        with pytest.raises(CodecError) as err:
+            decode(tampered)
+        assert "unknown type" in str(err.value)
