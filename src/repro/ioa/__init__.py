@@ -31,6 +31,11 @@ from repro.ioa.errors import (
 )
 from repro.ioa.execution import Execution, Step
 from repro.ioa.invariants import InvariantSuite, check_invariants
+from repro.ioa.metadata import (
+    AutomatonInfo,
+    TransitionInfo,
+    automaton_metadata,
+)
 from repro.ioa.model_check import BoundedExplorer, ExplorationResult
 from repro.ioa.refinement import RefinementChecker
 from repro.ioa.renaming import Renamed
@@ -46,6 +51,7 @@ __all__ = [
     "Action",
     "ActionNotEnabled",
     "Automaton",
+    "AutomatonInfo",
     "BoundedExplorer",
     "Composition",
     "CompositionError",
@@ -62,8 +68,10 @@ __all__ = [
     "State",
     "Step",
     "TransitionAutomaton",
+    "TransitionInfo",
     "UnknownAction",
     "act",
+    "automaton_metadata",
     "check_invariants",
     "fingerprint",
     "run_fair",

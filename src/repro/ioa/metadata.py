@@ -1,0 +1,327 @@
+"""Transition metadata for precondition/effect automata.
+
+:class:`~repro.ioa.automaton.TransitionAutomaton` subclasses carry
+their whole protocol in source form: the signature names the actions,
+``pre_`` methods read the state fields that gate each action and
+``eff_`` methods write the fields the action updates.  This module
+makes that structure available as data -- to the static analyzer
+(``repro lint``'s spec-conformance passes project the automata into
+checkable protocols) and to runtime introspection.
+
+Two layers:
+
+- pure-AST extractors (:func:`state_reads`, :func:`state_writes`,
+  :func:`is_none_guarded`) that work on ``ast.FunctionDef`` nodes, so
+  the linter can reuse them without importing the automata; and
+- :func:`automaton_metadata`, which introspects a live automaton class
+  (via ``inspect.getsource``) and returns one
+  :class:`TransitionInfo` per action in the signature.
+
+The ``none_guarded`` flag captures the spec idiom that makes an input
+action a silent no-op outside its enabling state -- e.g.
+``DVSSpec.eff_dvs_gpsnd``::
+
+    g = state.current_viewid.get(p)
+    if g is not None:
+        state.pending.at((p, g)).append(m)
+
+Every write to the state is dominated by an ``is (not) None`` test, so
+performing the action while the enabling field is unset drops it on
+the floor.  Implementations layered over such a spec must therefore
+guard the corresponding downcall -- which is exactly what rule DVS022
+checks.
+"""
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+
+#: Action kinds, as strings (decoupled from :class:`repro.ioa.action.Kind`
+#: so AST-only consumers need no runtime imports).
+KINDS = ("input", "output", "internal")
+
+#: The handler prefixes of the TransitionAutomaton dispatch contract.
+PRE_PREFIX = "pre_"
+EFF_PREFIX = "eff_"
+
+
+@dataclass(frozen=True)
+class TransitionInfo:
+    """Statically extracted facts about one action of one automaton."""
+
+    action: str
+    kind: str
+    #: Whether a ``pre_`` method exists (absent means always enabled).
+    guarded: bool
+    #: State fields the precondition reads.
+    pre_reads: tuple
+    #: State fields the effect writes or mutates.
+    eff_writes: tuple
+    #: Whether every state write in the effect is dominated by an
+    #: ``is (not) None`` test -- the "silent no-op outside the enabling
+    #: state" idiom.
+    none_guarded: bool
+
+
+@dataclass(frozen=True)
+class AutomatonInfo:
+    """The full transition table of one automaton class."""
+
+    name: str
+    inputs: frozenset
+    outputs: frozenset
+    internals: frozenset
+    #: Action name -> :class:`TransitionInfo`.
+    transitions: dict
+
+    @property
+    def externals(self):
+        return self.inputs | self.outputs
+
+    def none_guarded_actions(self):
+        """Actions whose effect silently no-ops outside the enabling
+        state, in name order."""
+        return tuple(sorted(
+            name for name, info in self.transitions.items()
+            if info.none_guarded
+        ))
+
+
+def _state_param(func):
+    """The name of the state parameter of a handler (the first
+    parameter after ``self``), or ``None`` for malformed handlers."""
+    args = func.args.posonlyargs + func.args.args
+    if len(args) < 2:
+        return None
+    return args[1].arg
+
+
+def state_reads(func, state=None):
+    """State fields read by ``func`` (attribute loads off the state
+    parameter), in first-seen order."""
+    state = state or _state_param(func)
+    if state is None:
+        return ()
+    seen = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == state
+            and node.attr not in seen
+        ):
+            seen.append(node.attr)
+    return tuple(seen)
+
+
+def _write_target_field(node, state):
+    """The state field a store/mutation target touches, or ``None``.
+
+    ``state.x = v`` and ``state.x[k] = v`` and ``state.x.y = v`` all
+    touch field ``x``; deeper subscripts fold to the first hop.
+    """
+    first = None
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            first = node.attr
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == state:
+        return first
+    return None
+
+
+#: Container methods that only read; calling one through a state field
+#: is not a mutation (``state.current_viewid.get(p)`` is the canonical
+#: enabling-state *read* of the none-guard idiom).
+_READ_METHODS = frozenset({
+    "get", "keys", "values", "items", "copy", "index", "count",
+    "issubset", "issuperset", "union", "intersection", "difference",
+})
+
+
+def _state_write_nodes(func, state):
+    """``(field, ast node)`` pairs for every write/mutation of a state
+    field inside ``func``, including mutator-method calls like
+    ``state.created.add(v)`` (read-only accessors are exempt)."""
+    writes = []
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                elts = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for elt in elts:
+                    field = _write_target_field(elt, state)
+                    if field is not None:
+                        writes.append((field, node))
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _READ_METHODS:
+                continue
+            field = _write_target_field(node.func.value, state)
+            if field is not None:
+                writes.append((field, node))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                field = _write_target_field(target, state)
+                if field is not None:
+                    writes.append((field, node))
+    return writes
+
+
+def state_writes(func, state=None):
+    """State fields written or mutated by ``func``, in first-seen
+    order (a method call through a state field counts: the effect
+    style mutates containers in place)."""
+    state = state or _state_param(func)
+    if state is None:
+        return ()
+    seen = []
+    for field, _ in _state_write_nodes(func, state):
+        if field not in seen:
+            seen.append(field)
+    return tuple(seen)
+
+
+def _is_none_test(test):
+    """Whether ``test`` is a single ``X is None`` / ``X is not None``
+    comparison."""
+    return (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.Is, ast.IsNot))
+        and any(
+            isinstance(side, ast.Constant) and side.value is None
+            for side in (test.left, test.comparators[0])
+        )
+    )
+
+
+def _terminates(body):
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue)
+    )
+
+
+def is_none_guarded(func, state=None):
+    """Whether every state write in ``func`` is dominated by an
+    ``is (not) None`` test.
+
+    Two dominating shapes are recognised: a write nested (at any
+    depth) inside an ``if <none-test>:`` branch, and an early bail-out
+    ``if <none-test>: return`` earlier in the enclosing suite.
+    Functions that never write state are not none-guarded (there is
+    nothing to drop).
+    """
+    state = state or _state_param(func)
+    if state is None:
+        return False
+    writes = _state_write_nodes(func, state)
+    if not writes:
+        return False
+    parents = {}
+    for node in ast.walk(func):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    def enclosing_stmt(node):
+        while node is not None and not isinstance(node, ast.stmt):
+            node = parents.get(node)
+        return node
+
+    def dominated(node):
+        # Shape 1: an ancestor ``if`` with a None test.
+        probe = node
+        while probe is not None and probe is not func:
+            parent = parents.get(probe)
+            if isinstance(parent, ast.If) and _is_none_test(parent.test):
+                return True
+            probe = parent
+        # Shape 2: a preceding ``if <none-test>: return`` in any
+        # enclosing suite.
+        probe = enclosing_stmt(node)
+        while probe is not None and probe is not func:
+            parent = parents.get(probe)
+            body = getattr(parent, "body", None)
+            if isinstance(body, list) and probe in body:
+                for earlier in body[: body.index(probe)]:
+                    if (
+                        isinstance(earlier, ast.If)
+                        and _is_none_test(earlier.test)
+                        and _terminates(earlier.body)
+                    ):
+                        return True
+            probe = enclosing_stmt(parents.get(probe))
+        return False
+
+    return all(dominated(node) for _, node in writes)
+
+
+def _handler_ast(method):
+    """Parse a bound/unbound handler back to its ``FunctionDef``."""
+    try:
+        source = textwrap.dedent(inspect.getsource(method))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None
+
+
+def transition_info(action, kind, pre_func=None, eff_func=None):
+    """Build a :class:`TransitionInfo` from handler ASTs (either may
+    be ``None``)."""
+    pre_reads = state_reads(pre_func) if pre_func is not None else ()
+    eff_writes = state_writes(eff_func) if eff_func is not None else ()
+    none_guarded = (
+        is_none_guarded(eff_func) if eff_func is not None else False
+    )
+    return TransitionInfo(
+        action=action,
+        kind=kind,
+        guarded=pre_func is not None,
+        pre_reads=pre_reads,
+        eff_writes=eff_writes,
+        none_guarded=none_guarded,
+    )
+
+
+def automaton_metadata(automaton_cls):
+    """The :class:`AutomatonInfo` of a live
+    :class:`~repro.ioa.automaton.TransitionAutomaton` subclass,
+    extracted by source introspection (MRO-resolved, so inherited
+    handlers count)."""
+    inputs = frozenset(automaton_cls.inputs)
+    outputs = frozenset(automaton_cls.outputs)
+    internals = frozenset(automaton_cls.internals)
+    transitions = {}
+    for kind, names in (
+        ("input", inputs), ("output", outputs), ("internal", internals),
+    ):
+        for name in sorted(names):
+            pre = getattr(automaton_cls, PRE_PREFIX + name, None)
+            eff = getattr(automaton_cls, EFF_PREFIX + name, None)
+            transitions[name] = transition_info(
+                name,
+                kind,
+                pre_func=_handler_ast(pre) if pre is not None else None,
+                eff_func=_handler_ast(eff) if eff is not None else None,
+            )
+    return AutomatonInfo(
+        name=automaton_cls.__name__,
+        inputs=inputs,
+        outputs=outputs,
+        internals=internals,
+        transitions=transitions,
+    )

@@ -1,0 +1,327 @@
+"""Per-file result caching and incremental dependency cones.
+
+``repro lint`` is run on every commit, but commits touch a handful of
+files; re-deriving the whole IR and re-running ten passes for an
+unchanged tree is wasted work.  This module keys each file's *raw*
+findings (pre-suppression, pre-exclusion -- those are re-applied from
+the current sources at report time) by a **cone key**: a digest of
+
+- the content hashes of the file and its transitive dependency cone,
+- the lint configuration, and
+- the analyzer itself (every ``repro.lint`` source plus the
+  ``repro.ioa.metadata`` bridge the spec-conformance pass reads).
+
+A file whose cone key matches the manifest is *clean* and its cached
+findings are authoritative; anything else is *dirty* and re-analyzed.
+A fully-warm run therefore does no parsing at all -- hash, look up,
+report.
+
+The dependency graph is an over-approximation assembled without
+importing anything:
+
+- ``import``/``from ... import`` statements (absolute and relative)
+  resolved against the scanned file set;
+- synthetic edges tie the wire codec to every wire-message module
+  (DVS015 compares them), every file to the spec modules (DVS022's
+  downcall vocabulary is project-wide) and a package's spec module to
+  its directory siblings (DVS027 reports drift at the spec).
+
+It is deliberately *not* exact: project-wide call-graph effects (a
+renamed method changing receiver resolution in an unrelated package)
+can escape a cone.  ``repro lint`` without ``--changed-only`` still
+analyzes the full tree whenever anything is dirty, so the cache can
+only serve stale results for a file whose entire cone is untouched --
+the trade DESIGN.md section 15 documents.
+
+The manifest lives in ``<cache dir>/cache.json``; direct import deps
+are stored per content hash, so even dep extraction skips parsing for
+unchanged files.
+"""
+
+import ast
+import hashlib
+import json
+import os
+
+#: Bumped on any change to the manifest layout.
+CACHE_FORMAT = 1
+
+MANIFEST_NAME = "cache.json"
+
+
+def _sha(data):
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def file_sha(source):
+    """Content hash of one source file."""
+    return _sha(source)
+
+
+def engine_fingerprint():
+    """Digest of the analyzer itself: every ``repro.lint`` module plus
+    the ``repro.ioa.metadata`` bridge.  Editing any pass invalidates
+    every cached finding."""
+    import repro.ioa.metadata
+    import repro.lint
+
+    sources = []
+    lint_dir = os.path.dirname(os.path.abspath(repro.lint.__file__))
+    for name in sorted(os.listdir(lint_dir)):
+        if name.endswith(".py"):
+            sources.append(os.path.join(lint_dir, name))
+    sources.append(os.path.abspath(repro.ioa.metadata.__file__))
+    digest = hashlib.sha256()
+    for path in sources:
+        digest.update(os.path.basename(path).encode("utf-8"))
+        with open(path, "rb") as handle:
+            digest.update(hashlib.sha256(handle.read()).digest())
+    return digest.hexdigest()
+
+
+def config_fingerprint(config):
+    """Digest of the lint configuration (any knob change re-keys every
+    cone)."""
+    payload = []
+    for name in sorted(vars(config)):
+        value = getattr(config, name)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        elif hasattr(value, "items"):
+            value = sorted(
+                (key, list(val)) for key, val in value.items()
+            )
+        payload.append((name, value))
+    return _sha(json.dumps(payload, sort_keys=True, default=list))
+
+
+# -- Dependency extraction ---------------------------------------------------
+
+
+def _module_index(files):
+    """posix path -> file, for resolving dotted imports by suffix."""
+    index = {}
+    for path in files:
+        index[os.path.normpath(path).replace("\\", "/")] = path
+    return index
+
+
+def _resolve_dotted(dotted, index):
+    """Scanned files a dotted module name may denote (suffix match)."""
+    tail = dotted.replace(".", "/")
+    matches = []
+    for suffix in (tail + ".py", tail + "/__init__.py"):
+        for posix, path in index.items():
+            if posix.endswith("/" + suffix) or posix == suffix:
+                matches.append(path)
+    return matches
+
+
+def direct_deps(path, source, files):
+    """Files in ``files`` that ``path`` imports (absolute dotted names
+    resolved by path suffix; relative imports resolved against the
+    file's package directory)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []
+    index = _module_index(files)
+    scanned = {os.path.normpath(f) for f in files}
+    deps = set()
+    base = os.path.dirname(os.path.normpath(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                deps.update(_resolve_dotted(alias.name, index))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                module = node.module or ""
+                deps.update(_resolve_dotted(module, index))
+                for alias in node.names:
+                    deps.update(_resolve_dotted(
+                        module + "." + alias.name, index
+                    ))
+            else:
+                package = base
+                for _ in range(node.level - 1):
+                    package = os.path.dirname(package)
+                parts = (node.module or "").split(".")
+                parts = [part for part in parts if part]
+                target = os.path.join(package, *parts) if parts else package
+                for alias in node.names:
+                    for candidate in (
+                        target + ".py",
+                        os.path.join(target, "__init__.py"),
+                        os.path.join(target, alias.name + ".py"),
+                    ):
+                        normalized = os.path.normpath(candidate)
+                        if normalized in scanned:
+                            deps.add(normalized)
+    deps.discard(os.path.normpath(path))
+    return sorted(deps)
+
+
+def augmented_graph(deps_by_path, config):
+    """The direct-import graph plus the analysis coupling edges.
+
+    - every codec module is tied (both ways) to every wire-message
+      module: DVS015 compares the two and reports on both sides;
+    - every file depends on every spec module: the spec-conformance
+      pass derives its downcall vocabulary (DVS022) from all spec
+      automata, wherever the impl lives;
+    - a spec module additionally depends on its directory siblings:
+      DVS027 reports *at the spec* when a package impl drifts.
+
+    Deliberately an approximation: project-wide call-graph effects (a
+    renamed method changing receiver resolution in a file that never
+    imports the edited one) can escape a cone.  A full run refreshes
+    every entry, so only ``changed_only`` trades that soundness for
+    cone-sized work.
+    """
+    graph = {
+        path: set(deps) for path, deps in deps_by_path.items()
+    }
+    files = sorted(graph)
+    codecs = [f for f in files if config.is_codec_path(f)]
+    messages = [f for f in files if config.is_wire_message_path(f)]
+    for codec in codecs:
+        for message in messages:
+            if codec != message:
+                graph[codec].add(message)
+                graph[message].add(codec)
+    specs = [f for f in files if config.is_spec_path(f)]
+    for spec in specs:
+        for path in files:
+            if path == spec:
+                continue
+            graph[path].add(spec)
+            if os.path.dirname(path) == os.path.dirname(spec):
+                graph[spec].add(path)
+    return {path: sorted(deps) for path, deps in graph.items()}
+
+
+def cone_of(path, graph):
+    """The transitive dependency closure of ``path`` (including it)."""
+    closure = {path}
+    stack = [path]
+    while stack:
+        for dep in graph.get(stack.pop(), ()):
+            if dep not in closure:
+                closure.add(dep)
+                stack.append(dep)
+    return closure
+
+
+def cone_key(path, graph, shas, config_fp, engine_fp):
+    """The cache key of ``path``'s findings."""
+    digest = hashlib.sha256()
+    digest.update(engine_fp.encode("utf-8"))
+    digest.update(config_fp.encode("utf-8"))
+    for member in sorted(cone_of(path, graph)):
+        digest.update(member.encode("utf-8"))
+        digest.update(shas[member].encode("utf-8"))
+    return digest.hexdigest()
+
+
+# -- The manifest ------------------------------------------------------------
+
+
+def _finding_to_entry(finding):
+    entry = [finding.rule, finding.path, finding.line, finding.col,
+             finding.message]
+    if finding.context:
+        entry.append(finding.context)
+    return entry
+
+
+def _entry_to_finding(entry):
+    from repro.lint.report import Finding
+
+    rule, path, line, col, message = entry[:5]
+    context = entry[5] if len(entry) > 5 else ""
+    return Finding(
+        rule=rule, path=path, line=line, col=col, message=message,
+        context=context,
+    )
+
+
+class LintCache:
+    """The on-disk manifest: per-file content hash, direct deps and
+    cone-keyed raw findings."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        self.manifest_path = os.path.join(directory, MANIFEST_NAME)
+        self._files = {}
+        self._engine_fp = engine_fingerprint()
+        self._load()
+
+    def _load(self):
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if data.get("format") != CACHE_FORMAT:
+            return
+        if data.get("engine") != self._engine_fp:
+            return  # the analyzer changed; every entry is stale
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    def save(self):
+        os.makedirs(self.directory, exist_ok=True)
+        data = {
+            "format": CACHE_FORMAT,
+            "engine": self._engine_fp,
+            "files": self._files,
+        }
+        temporary = self.manifest_path + ".tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, sort_keys=True)
+        os.replace(temporary, self.manifest_path)
+
+    @property
+    def engine_fp(self):
+        return self._engine_fp
+
+    def deps_for(self, path, sha, source, files):
+        """Direct deps of ``path``, from the manifest when the content
+        hash matches (no parse), else freshly extracted."""
+        entry = self._files.get(path)
+        if entry is not None and entry.get("sha") == sha:
+            deps = entry.get("deps")
+            if deps is not None:
+                return list(deps)
+        return direct_deps(path, source, files)
+
+    def findings_for(self, path, key):
+        """Cached raw findings for ``path`` under cone key ``key``, or
+        ``None`` on a miss."""
+        entry = self._files.get(path)
+        if entry is None or entry.get("cone_key") != key:
+            return None
+        findings = entry.get("findings")
+        if findings is None:
+            return None
+        return [_entry_to_finding(item) for item in findings]
+
+    def store(self, path, sha, deps, key, findings):
+        self._files[path] = {
+            "sha": sha,
+            "deps": list(deps),
+            "cone_key": key,
+            "findings": [
+                _finding_to_entry(finding) for finding in findings
+            ],
+        }
+
+    def prune(self, keep_paths):
+        """Drop manifest entries for files no longer scanned."""
+        keep = set(keep_paths)
+        for path in list(self._files):
+            if path not in keep:
+                del self._files[path]

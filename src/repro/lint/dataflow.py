@@ -1,0 +1,253 @@
+"""A generic monotone-dataflow fixpoint framework over the lint IR.
+
+The typestate and spec-conformance passes (DVS022-DVS027) all reduce to
+the same question: *at this statement, what is known for certain about
+an object's protocol state?*  This module answers it with a forward
+worklist fixpoint over the per-function :class:`~repro.lint.ir.CFG`:
+
+- a *fact* is a dict mapping tracked keys (an attribute or local name)
+  to an abstract value from a finite lattice (``"nonnull"``,
+  ``"closed"``, ``"started"``, ...);
+- an :class:`Analysis` supplies the transfer function (how one
+  statement changes the fact), an optional edge refinement (what a
+  branch condition proves on its true/false edge) and a value join;
+- the join over facts is the *must* join: a key survives a control-flow
+  merge only when every incoming edge agrees on its value (disagreeing
+  keys are dropped to "unknown"), so every reported protocol violation
+  holds on **all** paths reaching it -- the analyses never flag a
+  state that merely may occur.
+
+Termination: the lattices are finite and transfer functions monotone
+(keys only get dropped or re-proven at merges), so the fixpoint is
+reached in a bounded number of visits; a generous iteration valve
+(:data:`MAX_VISITS_PER_BLOCK`) guards against pathological CFGs by
+abandoning the function (returning ``None``), which rules treat as
+"no facts" rather than crashing or over-reporting.
+
+Interprocedural summaries ride on :class:`SummaryTable`: a memoised
+``FunctionIR -> summary`` map with a cycle guard, so a typestate
+analysis can ask "does calling this method close its receiver?" and
+recursive call chains degrade to the bottom summary instead of
+looping.
+"""
+
+import ast
+from collections import deque
+
+#: Fixpoint safety valve: abandon a function once any block has been
+#: visited this many times (far above what the finite lattices need).
+MAX_VISITS_PER_BLOCK = 64
+
+
+class Analysis:
+    """Base class (and default behaviour) for forward must-analyses.
+
+    Subclasses override :meth:`transfer` (mandatory in practice) and
+    optionally :meth:`refine` and :meth:`join_values`.  Facts are
+    plain dicts; transfer functions must treat the incoming fact as
+    immutable and return a new dict when anything changes.
+    """
+
+    def initial(self, ir):
+        """The entry fact (nothing is known by default)."""
+        return {}
+
+    def transfer(self, fact, stmt, ir):
+        """The fact after executing ``stmt`` given ``fact`` before it."""
+        return fact
+
+    def refine(self, fact, test, sense, ir):
+        """The fact after a branch on ``test`` took the ``sense`` edge."""
+        return fact
+
+    def join_values(self, a, b):
+        """Join two abstract values; ``None`` drops the key (the must
+        join keeps only agreed-on knowledge)."""
+        return a if a == b else None
+
+
+def join_facts(a, b, analysis):
+    """The must join of two facts: keys known in both, with agreeing
+    (joined) values."""
+    out = {}
+    for key in a.keys() & b.keys():
+        value = analysis.join_values(a[key], b[key])
+        if value is not None:
+            out[key] = value
+    return out
+
+
+def statement_parts(stmt):
+    """The AST nodes a basic block *owns* for a compound statement.
+
+    Compound statements appear in the block where their header runs,
+    while their bodies live in successor blocks; transferring over the
+    whole node would double-count the body.  This returns just the
+    header parts (tests, iterables, with-items), and the statement
+    itself for simple statements.
+    """
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        # A nested definition's body does not execute here; facts about
+        # its free variables belong to whoever calls it.
+        return ()
+    if isinstance(stmt, ast.If):
+        return (stmt.test,)
+    if isinstance(stmt, ast.While):
+        return (stmt.test,)
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return (stmt.target, stmt.iter)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return tuple(stmt.items)
+    if isinstance(stmt, ast.Try):
+        return ()
+    return (stmt,)
+
+
+def run_forward(analysis, ir):
+    """Run ``analysis`` to fixpoint over ``ir``'s CFG.
+
+    Returns ``{block index: fact at block entry}`` for reachable
+    blocks, or ``None`` if the iteration valve fired.
+    """
+    cfg = ir.cfg
+    entry_facts = {cfg.entry.index: analysis.initial(ir)}
+    worklist = deque([cfg.entry.index])
+    queued = {cfg.entry.index}
+    visits = {}
+    while worklist:
+        index = worklist.popleft()
+        queued.discard(index)
+        visits[index] = visits.get(index, 0) + 1
+        if visits[index] > MAX_VISITS_PER_BLOCK:
+            return None
+        block = cfg.blocks[index]
+        fact = entry_facts[index]
+        for stmt in block.statements:
+            fact = analysis.transfer(fact, stmt, ir)
+        for successor in block.successors:
+            outgoing = fact
+            condition = cfg.edge_conditions.get((index, successor))
+            if condition is not None:
+                outgoing = analysis.refine(
+                    outgoing, condition[0], condition[1], ir
+                )
+            if successor not in entry_facts:
+                entry_facts[successor] = dict(outgoing)
+                changed = True
+            else:
+                merged = join_facts(
+                    entry_facts[successor], outgoing, analysis
+                )
+                changed = merged != entry_facts[successor]
+                entry_facts[successor] = merged
+            if changed and successor not in queued:
+                worklist.append(successor)
+                queued.add(successor)
+    return entry_facts
+
+
+def facts_at_statements(analysis, ir):
+    """``id(stmt) -> fact before stmt`` for every statement on a
+    reachable path, or ``None`` if the fixpoint was abandoned.
+
+    This is the query interface the rules use: run the fixpoint once,
+    then replay each block from its entry fact, recording the fact in
+    force just before each owned statement.
+    """
+    entry_facts = run_forward(analysis, ir)
+    if entry_facts is None:
+        return None
+    at = {}
+    for index, fact in entry_facts.items():
+        block = ir.cfg.blocks[index]
+        for stmt in block.statements:
+            at[id(stmt)] = fact
+            fact = analysis.transfer(fact, stmt, ir)
+    return at
+
+
+class SummaryTable:
+    """Memoised per-function summaries with a cycle guard.
+
+    ``compute(ir, table)`` may recursively ask the table for callee
+    summaries; a cycle returns ``bottom`` (the sound "don't know")
+    instead of recursing forever.
+    """
+
+    def __init__(self, compute, bottom=None):
+        self.compute = compute
+        self.bottom = bottom
+        self._memo = {}
+        self._stack = set()
+
+    def get(self, ir):
+        key = id(ir)
+        if key in self._memo:
+            return self._memo[key]
+        if key in self._stack:
+            return self.bottom
+        self._stack.add(key)
+        try:
+            result = self.compute(ir, self)
+        finally:
+            self._stack.discard(key)
+        self._memo[key] = result
+        return result
+
+
+# -- Shared condition helpers ------------------------------------------------
+
+
+def none_comparisons(test):
+    """Decompose ``test`` into ``(operand expr, is_none)`` pairs it
+    proves when *true*.
+
+    ``x is None`` yields ``(x, True)``; ``x is not None`` yields
+    ``(x, False)``; ``a and b`` yields the union of its conjuncts'
+    proofs (all hold when the conjunction is true).  Disjunctions and
+    other tests prove nothing.
+    """
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        pairs = []
+        for value in test.values:
+            pairs.extend(none_comparisons(value))
+        return pairs
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.Is, ast.IsNot))
+    ):
+        left, right = test.left, test.comparators[0]
+        operand = None
+        if isinstance(right, ast.Constant) and right.value is None:
+            operand = left
+        elif isinstance(left, ast.Constant) and left.value is None:
+            operand = right
+        if operand is not None:
+            return [(operand, isinstance(test.ops[0], ast.Is))]
+    return []
+
+
+def negated_none_comparisons(test):
+    """The ``(operand, is_none)`` pairs proven when ``test`` is
+    *false*: only a bare (non-compound) comparison flips -- the
+    negation of a conjunction proves nothing about its conjuncts."""
+    if isinstance(test, ast.BoolOp):
+        return []
+    return [
+        (operand, not is_none)
+        for operand, is_none in none_comparisons(test)
+    ]
+
+
+def self_attr_of(node):
+    """``attr`` when ``node`` is exactly ``self.attr``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None

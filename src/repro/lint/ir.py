@@ -58,6 +58,11 @@ class CFG:
 
     def __init__(self):
         self.blocks = []
+        #: ``(src index, dst index) -> (test expr, sense)`` for edges
+        #: taken only when a branch condition holds (``sense=True``) or
+        #: fails (``sense=False``).  Dataflow analyses refine facts
+        #: along these edges; unconditional edges are simply absent.
+        self.edge_conditions = {}
         self.entry = self._new_block()
         self.exit_block = self._new_block()
 
@@ -105,13 +110,22 @@ def build_cfg(func):
             if isinstance(stmt, ast.If):
                 then_block = cfg._new_block()
                 current.add_edge(then_block)
+                cfg.edge_conditions[
+                    (current.index, then_block.index)
+                ] = (stmt.test, True)
                 then_out = lower(stmt.body, then_block, loop_targets)
+                # The false path always gets its own (possibly empty)
+                # block, so the condition can be attached to a distinct
+                # edge even without an ``else``.
+                else_block = cfg._new_block()
+                current.add_edge(else_block)
+                cfg.edge_conditions[
+                    (current.index, else_block.index)
+                ] = (stmt.test, False)
                 if stmt.orelse:
-                    else_block = cfg._new_block()
-                    current.add_edge(else_block)
                     else_out = lower(stmt.orelse, else_block, loop_targets)
                 else:
-                    else_out = current
+                    else_out = else_block
                 after = cfg._new_block()
                 outs = [b for b in (then_out, else_out) if b is not None]
                 if not outs:
@@ -127,6 +141,13 @@ def build_cfg(func):
                 head.add_edge(after)  # zero-iteration / condition false
                 body = cfg._new_block()
                 head.add_edge(body)
+                if isinstance(stmt, ast.While):
+                    cfg.edge_conditions[
+                        (head.index, body.index)
+                    ] = (stmt.test, True)
+                    cfg.edge_conditions[
+                        (head.index, after.index)
+                    ] = (stmt.test, False)
                 body_out = lower(stmt.body, body, (head, after))
                 if body_out is not None:
                     body_out.add_edge(head)
@@ -137,6 +158,7 @@ def build_cfg(func):
                     current = after
             elif isinstance(stmt, ast.Try):
                 body = cfg._new_block()
+                entry = current
                 current.add_edge(body)
                 body_out = lower(stmt.body, body, loop_targets)
                 after = cfg._new_block()
@@ -146,8 +168,10 @@ def build_cfg(func):
                 for handler in stmt.handlers:
                     hblock = cfg._new_block()
                     # Any statement of the body may raise into the
-                    # handler; edge from the body head approximates that.
-                    body.add_edge(hblock)
+                    # handler -- possibly before establishing anything
+                    # -- so the edge leaves the pre-try block: facts
+                    # proven inside the body never reach the handler.
+                    entry.add_edge(hblock)
                     hout = lower(handler.body, hblock, loop_targets)
                     if hout is not None:
                         outs.append(hout)
@@ -158,7 +182,7 @@ def build_cfg(func):
                         outs.append(else_out)
                 if stmt.finalbody:
                     final = cfg._new_block()
-                    body.add_edge(final)  # raising path runs finally too
+                    entry.add_edge(final)  # raising path runs finally too
                     for out in outs:
                         out.add_edge(final)
                     final_out = lower(stmt.finalbody, final, loop_targets)

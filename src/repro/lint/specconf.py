@@ -1,0 +1,397 @@
+"""Pass 10: spec conformance (DVS022, DVS027).
+
+The paper's services are specified as precondition/effect automata and
+``src/repro/ioa`` keeps them machine-readable; this pass projects them
+into protocols the implementation layers must respect.
+
+**DVS022 (unguarded-spec-send).**  Some spec inputs are silent no-ops
+outside their enabling state -- ``DVSSpec.eff_dvs_gpsnd`` drops the
+payload whenever ``current_viewid[p]`` is ``None`` (the process has no
+current primary view).  The metadata extractor
+(:mod:`repro.ioa.metadata`) recognises that idiom statically, and this
+pass then requires every event-driven layer downcall of such an action
+(``self.<stack>.gpsnd(...)``, ``self.<stack>.register()``) to be
+*must*-guarded: on every path reaching the call, at least one of the
+class's nullable enabling attributes (``self.cur`` / ``self.current``
+-- attributes ``__init__`` may leave ``None``) is known non-``None``.
+The guard knowledge comes from a must-nonnull dataflow analysis on the
+monotone framework (:mod:`repro.lint.dataflow`): ``if self.cur is
+None: return`` early-outs, ``if/while ... self.cur is not None``
+branches and ``self.cur = <handler parameter>`` assignments all
+establish it.  Classes in scope are the view-driven layers: those with
+an ``on_*newview`` handler and at least one nullable enabling
+attribute.
+
+**DVS027 (spec-drift).**  Within each package that has both a spec
+automaton (``*Spec`` / ``*/spec.py``) and implementation automata, the
+impl must stay matchable to the spec: a shared external action must
+keep its input/output kind; an external the spec guards (``pre_``) in
+every transition must not run unguarded in the impl; and every spec
+external must be implemented by some impl automaton.  Internal spec
+actions (``dvs_createview``, ``to_order``) are refinement freedom and
+exempt.
+"""
+
+import ast
+import os
+
+from repro.ioa.metadata import EFF_PREFIX, PRE_PREFIX, is_none_guarded
+from repro.lint.callgraph import build_project
+from repro.lint.dataflow import (
+    Analysis,
+    facts_at_statements,
+    negated_none_comparisons,
+    none_comparisons,
+    self_attr_of,
+    statement_parts,
+)
+from repro.lint.ir import receiver_chain
+from repro.lint.report import Finding
+
+NONNULL = "nonnull"
+NULL = "null"
+
+
+# -- Spec projection ---------------------------------------------------------
+
+
+def _spec_classes(model, config):
+    """Automaton classes acting as *specs*: matching the spec globs or
+    the ``*Spec`` naming convention."""
+    specs = []
+    for module in model.modules:
+        for info in module.classes:
+            if not model.is_automaton(info):
+                continue
+            if config.is_spec_path(info.path) or info.name.endswith(
+                config.spec_class_suffix
+            ):
+                specs.append(info)
+    return specs
+
+
+def _signature_kinds(model, info):
+    """Action name -> kind for one automaton class, or ``None`` when a
+    signature field is not statically resolvable."""
+    kinds = {}
+    for fieldname, kind in (
+        ("inputs", "input"), ("outputs", "output"),
+        ("internals", "internal"),
+    ):
+        names = model.resolved_signature(info, fieldname)
+        if names is None:
+            return None
+        for name in names:
+            kinds[name] = kind
+    return kinds
+
+
+def _downcall_methods(model, config):
+    """Downcall method name -> ``(spec class name, action name)`` for
+    every spec *input* action whose effect is none-guarded.
+
+    The method name is the action name with its service prefix
+    stripped: ``dvs_gpsnd`` is the spec-side name of the layer
+    downcall ``gpsnd``.
+    """
+    methods = {}
+    for info in _spec_classes(model, config):
+        kinds = _signature_kinds(model, info)
+        if kinds is None:
+            continue
+        handlers = model.resolved_handlers(info)
+        for action, kind in sorted(kinds.items()):
+            if kind != "input":
+                continue
+            eff = handlers.get(EFF_PREFIX + action)
+            if eff is None or not is_none_guarded(eff[1]):
+                continue
+            method = action.split("_", 1)[1] if "_" in action else action
+            methods.setdefault(method, (info.name, action))
+    return methods
+
+
+# -- The must-nonnull analysis ----------------------------------------------
+
+
+def _nullable_attrs(init_ir):
+    """Attributes ``__init__`` may leave ``None``: assigned the
+    ``None`` literal or a conditional expression with a ``None`` arm."""
+    nullable = set()
+    for attr, values in init_ir.assigned_attrs("self").items():
+        for value in values:
+            if isinstance(value, ast.Constant) and value.value is None:
+                nullable.add(attr)
+            elif isinstance(value, ast.IfExp) and any(
+                isinstance(arm, ast.Constant) and arm.value is None
+                for arm in (value.body, value.orelse)
+            ):
+                nullable.add(attr)
+    return nullable
+
+
+class NonNullAnalysis(Analysis):
+    """Must-nonnull facts for a set of ``self`` attributes."""
+
+    def __init__(self, attrs, params):
+        self.attrs = attrs
+        self.params = frozenset(params)
+
+    def _assign(self, fact, target, value):
+        attr = self_attr_of(target)
+        if attr is None or attr not in self.attrs:
+            return fact
+        fact = dict(fact)
+        if isinstance(value, ast.Constant) and value.value is None:
+            fact[attr] = NULL
+        elif isinstance(value, ast.IfExp):
+            # May be None: back to unknown.
+            fact.pop(attr, None)
+        elif isinstance(value, ast.Name) and value.id not in self.params:
+            # A local of unknown nullness.
+            fact.pop(attr, None)
+        else:
+            # Handler parameters (the installed view) and constructed
+            # values establish the attribute.
+            fact[attr] = NONNULL
+        return fact
+
+    def transfer(self, fact, stmt, ir):
+        for part in statement_parts(stmt):
+            if isinstance(part, ast.Assign):
+                for target in part.targets:
+                    if isinstance(target, (ast.Tuple, ast.List)):
+                        # Unpacked values have unknown nullness.
+                        for elt in target.elts:
+                            attr = self_attr_of(elt)
+                            if attr in self.attrs:
+                                fact = dict(fact)
+                                fact.pop(attr, None)
+                    else:
+                        fact = self._assign(fact, target, part.value)
+            elif isinstance(part, ast.AnnAssign) and part.value is not None:
+                fact = self._assign(fact, part.target, part.value)
+            elif isinstance(part, ast.Delete):
+                for target in part.targets:
+                    attr = self_attr_of(target)
+                    if attr in self.attrs:
+                        fact = dict(fact)
+                        fact.pop(attr, None)
+        return fact
+
+    def refine(self, fact, test, sense, ir):
+        pairs = (
+            none_comparisons(test) if sense
+            else negated_none_comparisons(test)
+        )
+        for operand, is_none in pairs:
+            attr = self_attr_of(operand)
+            if attr is not None and attr in self.attrs:
+                fact = dict(fact)
+                fact[attr] = NULL if is_none else NONNULL
+        return fact
+
+
+def _newview_classes(project, model):
+    """Class models with an ``on_*newview`` handler that are not
+    themselves automata (the event-driven layers)."""
+    out = []
+    for cls in project.classes.values():
+        info = model.class_index.get(cls.name)
+        if info is None or model.is_automaton(info):
+            continue
+        if any(
+            name.startswith("on_") and name.endswith("newview")
+            for name in cls.methods
+        ):
+            out.append(cls)
+    return out
+
+
+def _send_sites(ir, methods):
+    """``(stmt, call node, stack attr, method)`` for calls of the form
+    ``self.<attr>.<method>(...)`` in ``ir``'s reachable statements."""
+    sites = []
+    for index in ir.cfg.reachable():
+        for stmt in ir.cfg.blocks[index].statements:
+            for part in statement_parts(stmt):
+                nodes = (
+                    ast.walk(part) if isinstance(part, ast.AST) else ()
+                )
+                for node in nodes:
+                    if not isinstance(node, ast.Call):
+                        continue
+                    root, chain = receiver_chain(node.func)
+                    if (
+                        root == "self"
+                        and len(chain) == 2
+                        and chain[1] in methods
+                    ):
+                        sites.append((stmt, node, chain[0], chain[1]))
+    return sites
+
+
+def _check_unguarded_sends(project, model, config):
+    findings = []
+    methods = _downcall_methods(model, config)
+    if not methods:
+        return findings
+    for cls in _newview_classes(project, model):
+        init = cls.methods.get("__init__")
+        if init is None:
+            continue
+        nullable = _nullable_attrs(init)
+        if not nullable:
+            continue
+        for name, ir in sorted(cls.methods.items()):
+            if name == "__init__":
+                continue
+            sites = _send_sites(ir, methods)
+            if not sites:
+                continue
+            analysis = NonNullAnalysis(nullable, ir.param_names)
+            facts = facts_at_statements(analysis, ir)
+            if facts is None:
+                continue
+            for stmt, call, stack_attr, method in sites:
+                fact = facts.get(id(stmt), {})
+                if any(fact.get(a) == NONNULL for a in nullable):
+                    continue
+                spec_name, action = methods[method]
+                findings.append(Finding(
+                    rule="DVS022",
+                    path=ir.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        "self.{0}.{1}() in {2}.{3} is reachable while "
+                        "none of the enabling attributes ({4}) is known "
+                        "non-None; {5}.eff_{6} silently drops the "
+                        "action in that state".format(
+                            stack_attr, method, cls.name, name,
+                            ", ".join(sorted(nullable)),
+                            spec_name, action,
+                        )
+                    ),
+                ))
+    return findings
+
+
+# -- Spec drift --------------------------------------------------------------
+
+
+def _automata_by_package(model, config):
+    """Directory -> ``(specs, impls)`` lists of automaton ClassInfos."""
+    packages = {}
+    spec_names = {info.name for info in _spec_classes(model, config)}
+    for module in model.modules:
+        for info in module.classes:
+            if not model.is_automaton(info):
+                continue
+            package = os.path.dirname(info.path)
+            specs, impls = packages.setdefault(package, ([], []))
+            if info.name in spec_names:
+                specs.append(info)
+            else:
+                impls.append(info)
+    return packages
+
+
+def _check_drift(model, config):
+    findings = []
+    for package, (specs, impls) in sorted(
+        _automata_by_package(model, config).items()
+    ):
+        if not specs or not impls:
+            continue
+        spec_kinds = {}
+        spec_guarded = {}
+        spec_lines = {}
+        for spec in specs:
+            kinds = _signature_kinds(model, spec)
+            if kinds is None:
+                continue
+            handlers = model.resolved_handlers(spec)
+            for action, kind in kinds.items():
+                if kind == "internal":
+                    continue
+                spec_kinds[action] = (spec.name, kind)
+                spec_guarded[action] = (
+                    PRE_PREFIX + action in handlers
+                )
+                spec_lines[action] = (spec.path, spec.node.lineno)
+        implemented = set()
+        for impl in impls:
+            kinds = _signature_kinds(model, impl)
+            if kinds is None:
+                continue
+            handlers = model.resolved_handlers(impl)
+            for action, kind in sorted(kinds.items()):
+                if action not in spec_kinds:
+                    continue
+                implemented.add(action)
+                spec_name, spec_kind = spec_kinds[action]
+                if kind != spec_kind and kind != "internal":
+                    findings.append(Finding(
+                        rule="DVS027",
+                        path=impl.path,
+                        line=impl.node.lineno,
+                        col=impl.node.col_offset,
+                        message=(
+                            "{0} declares {1} as an {2} but the spec "
+                            "automaton {3} declares it as an {4}; no "
+                            "spec transition can match it".format(
+                                impl.name, action, kind, spec_name,
+                                spec_kind,
+                            )
+                        ),
+                    ))
+                elif (
+                    kind == "output"
+                    and spec_kind == "output"
+                    and spec_guarded.get(action)
+                    and PRE_PREFIX + action not in handlers
+                ):
+                    eff = handlers.get(EFF_PREFIX + action)
+                    node = eff[1] if eff is not None else impl.node
+                    findings.append(Finding(
+                        rule="DVS027",
+                        path=impl.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "{0}.{1} runs unguarded but every {2} "
+                            "transition for it has a precondition; "
+                            "the unguarded effect cannot be matched "
+                            "to any spec transition".format(
+                                impl.name, action, spec_name,
+                            )
+                        ),
+                    ))
+        for action in sorted(set(spec_kinds) - implemented):
+            spec_name, kind = spec_kinds[action]
+            spec_path, spec_line = spec_lines[action]
+            findings.append(Finding(
+                rule="DVS027",
+                path=spec_path,
+                line=spec_line,
+                col=0,
+                message=(
+                    "spec {0} external {1} ({2}) is implemented by no "
+                    "automaton in its package; the impl trace cannot "
+                    "contain it".format(spec_name, action, kind)
+                ),
+            ))
+    return findings
+
+
+def run_pass(model, config):
+    findings = []
+    if not (config.enabled("DVS022") or config.enabled("DVS027")):
+        return findings
+    project = build_project(model)
+    if config.enabled("DVS022"):
+        findings.extend(_check_unguarded_sends(project, model, config))
+    if config.enabled("DVS027"):
+        findings.extend(_check_drift(model, config))
+    return findings

@@ -1,0 +1,611 @@
+"""Pass 9: object-protocol typestate (DVS023-DVS026).
+
+Four per-object protocols, checked with must-analyses on the monotone
+dataflow framework (:mod:`repro.lint.dataflow`):
+
+- **DVS023 (fanout-port-misuse)** -- a ``DvsFanout`` port is UNBOUND
+  from ``fanout.port()`` until it escapes into a tower (passed as a
+  call argument).  Driving an unbound port (``port.gpsnd`` /
+  ``port.register``) bypasses the all-ports-registered gate, and a
+  ``fanout.port()`` whose result is dropped on the floor claims a port
+  that can never register -- blocking DVS registration forever.
+- **DVS024 (send-after-close)** -- a handle is CLOSED after
+  ``close()``/``stop()``/``leave()`` (or a method whose
+  interprocedural summary says it closes its receiver); reaching a
+  send/broadcast on a closed handle on *every* path is a silent
+  message drop.  Rebinding the name or calling a re-opener
+  (``start``/``restart``/``connect``) returns the handle to unknown.
+- **DVS025 (late-harness-arm)** -- a chaos/replay harness (a class
+  with a ``start`` method and monitor/nemesis/recorder attributes) is
+  CREATED until ``start()`` (or ``with harness:``); arming an
+  observability attribute after start misses the formation events,
+  and driving the workload before start races the boot.
+- **DVS026 (view-scoped-state-leak)** -- an attribute fed from the
+  view-scoped vector-clock constructors (``repro.cb.clocks``) must be
+  reset by the class's ``on_*newview`` handler, directly or through a
+  helper it calls; a clock carried across the view boundary corrupts
+  the delivery condition for the new membership.
+
+All four report only *must* facts: a close or start inside one branch
+merges back to unknown, so nothing that merely may happen is flagged.
+"""
+
+import ast
+
+from repro.lint.callgraph import build_project
+from repro.lint.dataflow import (
+    Analysis,
+    SummaryTable,
+    facts_at_statements,
+    self_attr_of,
+    statement_parts,
+)
+from repro.lint.ir import receiver_chain
+from repro.lint.report import Finding
+
+UNBOUND = "unbound-port"
+FANOUT = "fanout"
+CLOSED = "closed"
+CREATED = "created"
+STARTED = "started"
+
+
+def _iter_function_irs(project):
+    """Every top-level function and method IR (nested functions are
+    skipped: their facts belong to the call site that runs them)."""
+    for ir in project.module_functions.values():
+        yield ir
+    for cls in sorted(project.classes.values(), key=lambda c: c.name):
+        for ir in cls.methods.values():
+            yield ir
+
+
+def _calls_in(part):
+    if not isinstance(part, ast.AST):
+        return
+    for node in ast.walk(part):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _call_args(node):
+    for arg in node.args:
+        yield arg.value if isinstance(arg, ast.Starred) else arg
+    for keyword in node.keywords:
+        yield keyword.value
+
+
+# -- DVS023: fanout port lifecycle -------------------------------------------
+
+
+class PortAnalysis(Analysis):
+    """Tracks locals holding fanouts and unbound ports."""
+
+    def __init__(self, config):
+        self.fanout_classes = frozenset(config.fanout_classes)
+
+    def _value_state(self, value, fact):
+        if isinstance(value, ast.Call):
+            if (
+                isinstance(value.func, ast.Name)
+                and value.func.id in self.fanout_classes
+            ):
+                return FANOUT
+            root, chain = receiver_chain(value.func)
+            if (
+                root is not None
+                and fact.get(root) == FANOUT
+                and chain == ("port",)
+            ):
+                return UNBOUND
+        return None
+
+    def transfer(self, fact, stmt, ir):
+        for part in statement_parts(stmt):
+            for call in _calls_in(part):
+                for arg in _call_args(call):
+                    if (
+                        isinstance(arg, ast.Name)
+                        and fact.get(arg.id) == UNBOUND
+                    ):
+                        fact = dict(fact)
+                        del fact[arg.id]  # escaped into a tower
+            if isinstance(part, ast.Assign):
+                for target in part.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    fact = dict(fact)
+                    state = self._value_state(part.value, fact)
+                    if state is None:
+                        fact.pop(target.id, None)
+                    else:
+                        fact[target.id] = state
+        return fact
+
+
+def _check_ports(project, config):
+    findings = []
+    analysis = PortAnalysis(config)
+    drives = frozenset(config.port_drive_methods)
+    for ir in _iter_function_irs(project):
+        facts = facts_at_statements(analysis, ir)
+        if facts is None:
+            continue
+        for index in ir.cfg.reachable():
+            for stmt in ir.cfg.blocks[index].statements:
+                fact = facts.get(id(stmt), {})
+                for part in statement_parts(stmt):
+                    for call in _calls_in(part):
+                        root, chain = receiver_chain(call.func)
+                        if (
+                            root is not None
+                            and fact.get(root) == UNBOUND
+                            and len(chain) == 1
+                            and chain[0] in drives
+                        ):
+                            findings.append(Finding(
+                                rule="DVS023",
+                                path=ir.path,
+                                line=call.lineno,
+                                col=call.col_offset,
+                                message=(
+                                    "{0}.{1}() drives a fanout port "
+                                    "that is not bound to a tower "
+                                    "yet; it bypasses the all-ports-"
+                                    "registered gate".format(
+                                        root, chain[0]
+                                    )
+                                ),
+                            ))
+                if (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Call)
+                ):
+                    root, chain = receiver_chain(stmt.value.func)
+                    if (
+                        root is not None
+                        and fact.get(root) == FANOUT
+                        and chain == ("port",)
+                    ):
+                        findings.append(Finding(
+                            rule="DVS023",
+                            path=ir.path,
+                            line=stmt.value.lineno,
+                            col=stmt.value.col_offset,
+                            message=(
+                                "{0}.port() claims a port and drops "
+                                "it; an unregistered port blocks DVS "
+                                "registration for every tower".format(
+                                    root
+                                )
+                            ),
+                        ))
+    return findings
+
+
+# -- DVS024: send-after-close ------------------------------------------------
+
+
+def _receiver_key(root, chain):
+    """The tracked handle key of a call, or ``None``.
+
+    ``link.close()`` -> ``"link"``; ``self.close()`` -> ``("self",)``;
+    ``self._listener.close()`` -> ``("self", "_listener")``.
+    """
+    if root is None or not chain:
+        return None
+    if root == "self":
+        if len(chain) == 1:
+            return ("self",)
+        if len(chain) == 2:
+            return ("self", chain[0])
+        return None
+    if len(chain) == 1:
+        return root
+    return None
+
+
+def _closes_receiver(ir, table, project, closers):
+    """Summary: does calling this method unconditionally close its
+    receiver?  Looks at top-level statements only (the must paths) and
+    follows ``self.m()`` calls through the table."""
+    for stmt in ir.node.body:
+        value = stmt.value if isinstance(stmt, ast.Expr) else None
+        if isinstance(value, ast.Await):
+            value = value.value
+        if not isinstance(value, ast.Call):
+            continue
+        root, chain = receiver_chain(value.func)
+        if root != "self":
+            continue
+        if len(chain) == 2 and chain[1] in closers:
+            return True
+        if len(chain) == 1:
+            if chain[0] in closers:
+                return True
+            if ir.klass is not None:
+                target = project._lookup_method(ir.klass, chain[0])
+                if target is not None and table.get(target.ir):
+                    return True
+    return False
+
+
+class CloseAnalysis(Analysis):
+    """Tracks handles that are must-closed."""
+
+    def __init__(self, config, closer_call_ids):
+        self.closers = frozenset(config.handle_closers)
+        self.reopeners = frozenset(config.handle_reopeners)
+        #: ``id(call node)`` of calls whose target's summary closes
+        #: the receiver (precomputed: resolution is not cheap enough
+        #: for the fixpoint loop).
+        self.closer_call_ids = closer_call_ids
+
+    def transfer(self, fact, stmt, ir):
+        for part in statement_parts(stmt):
+            for call in _calls_in(part):
+                root, chain = receiver_chain(call.func)
+                key = _receiver_key(root, chain)
+                if key is None:
+                    continue
+                method = chain[-1]
+                if method in self.closers or (
+                    id(call) in self.closer_call_ids
+                ):
+                    fact = dict(fact)
+                    fact[key] = CLOSED
+                elif method in self.reopeners:
+                    fact = dict(fact)
+                    fact.pop(key, None)
+            if isinstance(part, ast.Assign):
+                for target in part.targets:
+                    fact = self._kill_target(fact, target)
+            elif isinstance(part, (ast.AnnAssign, ast.AugAssign)):
+                fact = self._kill_target(fact, part.target)
+        return fact
+
+    def _kill_target(self, fact, target):
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                fact = self._kill_target(fact, elt)
+            return fact
+        key = None
+        if isinstance(target, ast.Name):
+            key = target.id
+        else:
+            attr = self_attr_of(target)
+            if attr is not None:
+                key = ("self", attr)
+        if key is not None and key in fact:
+            fact = dict(fact)
+            del fact[key]
+        return fact
+
+
+def _summary_closer_calls(ir, project, table):
+    """Ids of call nodes in ``ir`` resolving to a method whose summary
+    closes its receiver."""
+    ids = set()
+    irs = [ir]
+    while irs:
+        current = irs.pop()
+        for site in current.calls:
+            if site.root is None or len(site.chain) != 1:
+                continue
+            from repro.lint.callgraph import Target
+
+            for resolution in project.resolve(site, current):
+                if (
+                    isinstance(resolution, Target)
+                    and resolution.ir is not None
+                    and table.get(resolution.ir)
+                ):
+                    ids.add(id(site.node))
+                    break
+    return ids
+
+
+def _check_closes(project, config):
+    findings = []
+    closers = frozenset(config.handle_closers)
+    senders = frozenset(config.handle_senders)
+    table = SummaryTable(
+        lambda ir, t: _closes_receiver(ir, t, project, closers),
+        bottom=False,
+    )
+    for ir in _iter_function_irs(project):
+        closer_call_ids = _summary_closer_calls(ir, project, table)
+        analysis = CloseAnalysis(config, closer_call_ids)
+        facts = facts_at_statements(analysis, ir)
+        if facts is None:
+            continue
+        for index in ir.cfg.reachable():
+            for stmt in ir.cfg.blocks[index].statements:
+                fact = facts.get(id(stmt), {})
+                if not fact:
+                    continue
+                for part in statement_parts(stmt):
+                    for call in _calls_in(part):
+                        root, chain = receiver_chain(call.func)
+                        key = _receiver_key(root, chain)
+                        if key is None or chain[-1] not in senders:
+                            continue
+                        closed = fact.get(key) == CLOSED or (
+                            isinstance(key, tuple)
+                            and fact.get(("self",)) == CLOSED
+                        )
+                        if closed:
+                            handle = (
+                                root if not isinstance(key, tuple)
+                                else ".".join(("self",) + key[1:])
+                            )
+                            findings.append(Finding(
+                                rule="DVS024",
+                                path=ir.path,
+                                line=call.lineno,
+                                col=call.col_offset,
+                                message=(
+                                    "{0}.{1}() is reachable only "
+                                    "after {0} was closed; the send "
+                                    "is silently dropped".format(
+                                        handle, chain[-1]
+                                    )
+                                ),
+                            ))
+    return findings
+
+
+# -- DVS025: harness arm order -----------------------------------------------
+
+
+def _harness_subjects(project, config):
+    """Names of classes with a ``start`` method and at least one
+    armable observability attribute."""
+    arm_attrs = set(config.harness_arm_attrs)
+    subjects = set()
+    for cls in project.classes.values():
+        if "start" not in cls.methods:
+            continue
+        init = cls.methods.get("__init__")
+        if init is None:
+            continue
+        armable = set(init.assigned_attrs("self")) | set(
+            init.param_names
+        )
+        if armable & arm_attrs:
+            subjects.add(cls.name)
+    return subjects
+
+
+class HarnessAnalysis(Analysis):
+    """CREATED -> STARTED lifecycle of locally built harnesses."""
+
+    def __init__(self, subjects):
+        self.subjects = frozenset(subjects)
+
+    def _is_subject_ctor(self, value):
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in self.subjects
+        )
+
+    def transfer(self, fact, stmt, ir):
+        for part in statement_parts(stmt):
+            if isinstance(part, ast.withitem):
+                context = part.context_expr
+                if (
+                    isinstance(context, ast.Name)
+                    and context.id in fact
+                ):
+                    fact = dict(fact)
+                    fact[context.id] = STARTED
+                elif self._is_subject_ctor(context) and isinstance(
+                    part.optional_vars, ast.Name
+                ):
+                    fact = dict(fact)
+                    fact[part.optional_vars.id] = STARTED
+                continue
+            for call in _calls_in(part):
+                root, chain = receiver_chain(call.func)
+                if root is None or len(chain) != 1 or root not in fact:
+                    continue
+                if chain[0] == "start":
+                    fact = dict(fact)
+                    fact[root] = STARTED
+                elif chain[0] == "stop":
+                    fact = dict(fact)
+                    fact.pop(root, None)
+            if isinstance(part, ast.Assign):
+                for target in part.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    fact = dict(fact)
+                    if self._is_subject_ctor(part.value):
+                        fact[target.id] = CREATED
+                    else:
+                        fact.pop(target.id, None)
+        return fact
+
+
+def _check_harnesses(project, config):
+    findings = []
+    subjects = _harness_subjects(project, config)
+    if not subjects:
+        return findings
+    arm_attrs = frozenset(config.harness_arm_attrs)
+    drives = frozenset(config.harness_drive_methods)
+    analysis = HarnessAnalysis(subjects)
+    for ir in _iter_function_irs(project):
+        facts = facts_at_statements(analysis, ir)
+        if facts is None:
+            continue
+        for index in ir.cfg.reachable():
+            for stmt in ir.cfg.blocks[index].statements:
+                fact = facts.get(id(stmt), {})
+                if not fact:
+                    continue
+                for part in statement_parts(stmt):
+                    for call in _calls_in(part):
+                        root, chain = receiver_chain(call.func)
+                        if (
+                            root is not None
+                            and fact.get(root) == CREATED
+                            and len(chain) == 1
+                            and chain[0] in drives
+                        ):
+                            findings.append(Finding(
+                                rule="DVS025",
+                                path=ir.path,
+                                line=call.lineno,
+                                col=call.col_offset,
+                                message=(
+                                    "{0}.{1}() drives the harness "
+                                    "before {0}.start(); the "
+                                    "workload races the boot".format(
+                                        root, chain[0]
+                                    )
+                                ),
+                            ))
+                    if isinstance(part, ast.Assign):
+                        for target in part.targets:
+                            if not (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and fact.get(target.value.id) == STARTED
+                                and target.attr in arm_attrs
+                            ):
+                                continue
+                            findings.append(Finding(
+                                rule="DVS025",
+                                path=ir.path,
+                                line=target.lineno,
+                                col=target.col_offset,
+                                message=(
+                                    "{0}.{1} is armed after {0}."
+                                    "start(); the {1} misses the "
+                                    "formation events".format(
+                                        target.value.id, target.attr
+                                    )
+                                ),
+                            ))
+    return findings
+
+
+# -- DVS026: view-scoped clock state -----------------------------------------
+
+
+def _clock_names(module, config):
+    """Local names bound (by import) to view-scoped clock
+    constructors in this module."""
+    names = set()
+    clock_modules = set(config.clock_modules)
+    for local, origin in module.imports.items():
+        if "." in origin and origin.rsplit(".", 1)[0] in clock_modules:
+            names.add(local)
+    return names
+
+
+def _clock_attr_sites(cls, clock_names):
+    """``attr -> (line, col)`` of ``self`` attributes assigned from a
+    clock-constructor call (directly or by tuple unpacking)."""
+    sites = {}
+    for ir in cls.methods.values():
+        for node in ast.walk(ir.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in clock_names
+            ):
+                continue
+            for target in node.targets:
+                elts = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for elt in elts:
+                    attr = self_attr_of(elt)
+                    if attr is not None and attr not in sites:
+                        sites[attr] = (elt.lineno, elt.col_offset)
+    return sites
+
+
+def _written_attrs_from(cls, method_names):
+    """``self`` attributes written by the named methods or any
+    ``self.*()`` helper they (transitively) call."""
+    written = set()
+    seen = set()
+    stack = [
+        name for name in method_names if name in cls.methods
+    ]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        ir = cls.methods.get(name)
+        if ir is None:
+            continue
+        written.update(ir.assigned_attrs("self"))
+        for site in ir.calls:
+            if site.root == "self" and len(site.chain) == 1:
+                stack.append(site.chain[0])
+    return written
+
+
+def _check_clocks(project, model, config):
+    findings = []
+    for cls in sorted(project.classes.values(), key=lambda c: c.name):
+        info = model.class_index.get(cls.name)
+        if info is None or model.is_automaton(info):
+            continue
+        newview_handlers = [
+            name for name in cls.methods
+            if name.startswith("on_") and name.endswith("newview")
+        ]
+        if not newview_handlers:
+            continue
+        clock_names = _clock_names(cls.module, config)
+        if not clock_names:
+            continue
+        sites = _clock_attr_sites(cls, clock_names)
+        if not sites:
+            continue
+        reset = _written_attrs_from(cls, newview_handlers)
+        for attr in sorted(set(sites) - reset):
+            line, col = sites[attr]
+            findings.append(Finding(
+                rule="DVS026",
+                path=cls.path,
+                line=line,
+                col=col,
+                message=(
+                    "self.{0} holds a view-scoped clock but no "
+                    "write to it is reachable from {1}; the clock "
+                    "leaks across the newview boundary".format(
+                        attr, " / ".join(sorted(newview_handlers))
+                    )
+                ),
+            ))
+    return findings
+
+
+def run_pass(model, config):
+    findings = []
+    rules = ("DVS023", "DVS024", "DVS025", "DVS026")
+    if not any(config.enabled(rule) for rule in rules):
+        return findings
+    project = build_project(model)
+    if config.enabled("DVS023"):
+        findings.extend(_check_ports(project, config))
+    if config.enabled("DVS024"):
+        findings.extend(_check_closes(project, config))
+    if config.enabled("DVS025"):
+        findings.extend(_check_harnesses(project, config))
+    if config.enabled("DVS026"):
+        findings.extend(_check_clocks(project, model, config))
+    return findings

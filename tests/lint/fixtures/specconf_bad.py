@@ -1,0 +1,81 @@
+"""Seeded spec-conformance violations: the positive fixture for
+DVS022 (unguarded spec send) and DVS027 (spec drift)."""
+
+from repro.ioa.automaton import TransitionAutomaton
+
+
+class DemoSpec(TransitionAutomaton):
+    """The package spec: gpsnd/register are silent no-ops while the
+    process has no current view."""
+
+    inputs = frozenset({"dvs_gpsnd", "dvs_register", "dvs_leave"})
+    outputs = frozenset({"dvs_newview"})
+    internals = frozenset({"dvs_order"})
+
+    def eff_dvs_gpsnd(self, state, p, m):
+        g = state.current_viewid.get(p)
+        if g is not None:
+            state.pending[g].append((p, m))
+
+    def eff_dvs_register(self, state, p):
+        g = state.current_viewid.get(p)
+        if g is not None:
+            state.registered[g].add(p)
+
+    def eff_dvs_leave(self, state, p):
+        state.members.discard(p)
+
+    def pre_dvs_newview(self, state, p, v):
+        return v in state.created and p in v.members
+
+    def eff_dvs_newview(self, state, p, v):
+        state.current_viewid[p] = v.viewid
+
+    def pre_dvs_order(self, state, g, m):
+        return m in state.pending[g]
+
+    def eff_dvs_order(self, state, g, m):
+        state.ordered[g].append(m)
+
+
+class DriftImpl(TransitionAutomaton):
+    """Drifts from DemoSpec three ways: dvs_gpsnd flipped to an
+    output (kind mismatch), dvs_newview effect unguarded while every
+    spec transition for it has a precondition, and dvs_leave is
+    implemented by nobody in the package."""
+
+    inputs = frozenset()
+    outputs = frozenset({"dvs_gpsnd", "dvs_newview", "dvs_register"})
+    internals = frozenset()
+
+    def pre_dvs_gpsnd(self, state, p, m):
+        return p in state.members
+
+    def eff_dvs_gpsnd(self, state, p, m):
+        state.sent.append((p, m))
+
+    def eff_dvs_newview(self, state, p, v):
+        state.current_viewid[p] = v.viewid
+
+    def pre_dvs_register(self, state, p):
+        return p in state.members
+
+    def eff_dvs_register(self, state, p):
+        state.registered.add(p)
+
+
+class BadLayer:
+    """An event-driven layer whose downcalls ignore the spec's
+    enabling state: ``self.cur`` may still be ``None``."""
+
+    def __init__(self, stack):
+        self.stack = stack
+        self.cur = None
+
+    def on_dvs_newview(self, view):
+        self.cur = view
+        self.stack.register()
+
+    def gpsnd(self, payload):
+        # DVS022: DemoSpec.eff_dvs_gpsnd drops this while cur is None.
+        self.stack.gpsnd(payload)

@@ -1,0 +1,67 @@
+"""Conforming spec/impl/layer trio: the negative fixture for DVS022
+and DVS027."""
+
+from repro.ioa.automaton import TransitionAutomaton
+
+
+class DemoSpec(TransitionAutomaton):
+    inputs = frozenset({"dvs_gpsnd", "dvs_register"})
+    outputs = frozenset({"dvs_newview"})
+    internals = frozenset()
+
+    def eff_dvs_gpsnd(self, state, p, m):
+        g = state.current_viewid.get(p)
+        if g is not None:
+            state.pending[g].append((p, m))
+
+    def eff_dvs_register(self, state, p):
+        g = state.current_viewid.get(p)
+        if g is not None:
+            state.registered[g].add(p)
+
+    def pre_dvs_newview(self, state, p, v):
+        return v in state.created and p in v.members
+
+    def eff_dvs_newview(self, state, p, v):
+        state.current_viewid[p] = v.viewid
+
+
+class ConformingImpl(TransitionAutomaton):
+    """Keeps every external's kind and guards what the spec guards."""
+
+    inputs = frozenset({"dvs_gpsnd", "dvs_register"})
+    outputs = frozenset({"dvs_newview"})
+    internals = frozenset()
+
+    def eff_dvs_gpsnd(self, state, p, m):
+        state.queue.append((p, m))
+
+    def eff_dvs_register(self, state, p):
+        state.waiting.add(p)
+
+    def pre_dvs_newview(self, state, p, v):
+        return p in state.waiting
+
+    def eff_dvs_newview(self, state, p, v):
+        state.current_viewid[p] = v.viewid
+
+
+class GoodLayer:
+    """Every downcall is must-guarded on the enabling attribute."""
+
+    def __init__(self, stack):
+        self.stack = stack
+        self.cur = None
+
+    def on_dvs_newview(self, view):
+        self.cur = view
+        self.stack.register()
+
+    def gpsnd(self, payload):
+        if self.cur is None:
+            return
+        self.stack.gpsnd(payload)
+
+    def maybe_register(self, ready):
+        if self.cur is not None and ready:
+            self.stack.register()

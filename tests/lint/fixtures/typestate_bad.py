@@ -1,0 +1,74 @@
+"""Seeded protocol-typestate violations: the positive fixture for
+DVS023 (fanout port misuse), DVS024 (send after close), DVS025 (late
+harness arm) and DVS026 (view-scoped clock leak)."""
+
+from repro.cb.clocks import drain
+
+
+class DvsFanout:
+    def __init__(self, dvs):
+        self.dvs = dvs
+        self.ports = ()
+
+    def port(self, claims=None):
+        self.ports = self.ports + (claims,)
+        return self
+
+
+def build_bad_tower(dvs, tower_cls):
+    fanout = DvsFanout(dvs)
+    port = fanout.port()
+    port.gpsnd("early")  # DVS023: driven before bound to a tower
+    fanout.port()  # DVS023: claimed and dropped
+    tower = tower_cls(port)
+    return tower
+
+
+def send_after_close(link):
+    link.close()
+    link.send("bye")  # DVS024: the frame is silently dropped
+
+
+def stop_then_bcast(stack, summary):
+    stack.leave()
+    stack.bcast(summary)  # DVS024
+
+
+class Cluster:
+    def __init__(self, n):
+        self.n = n
+        self.monitor = None
+        self.nemesis = None
+
+    def start(self):
+        return self
+
+    def bcast(self, payload):
+        return payload
+
+    def run(self, duration):
+        return duration
+
+
+def drive_before_start():
+    cluster = Cluster(3)
+    cluster.bcast("early")  # DVS025: races the boot
+    cluster.start()
+    cluster.monitor = object()  # DVS025: armed after start
+    return cluster
+
+
+class LeakyLayer:
+    """Holds a view-scoped delivery clock but never resets it on a
+    view change."""
+
+    def __init__(self):
+        self.holdback = []
+        self.delivered = ()
+
+    def on_dvs_newview(self, view):
+        self.view = view  # DVS026: self.delivered survives the view
+
+    def deliver(self, now):
+        released, self.delivered = drain(self.holdback, self.delivered)
+        return released

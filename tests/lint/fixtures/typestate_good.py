@@ -1,0 +1,102 @@
+"""Clean protocol lifecycles: the negative fixture for DVS023-DVS026.
+
+Also exercises the *must*-semantics: a close or start inside one
+branch merges back to unknown, so nothing here may be flagged.
+"""
+
+from repro.cb.clocks import drain
+
+
+class DvsFanout:
+    def __init__(self, dvs):
+        self.dvs = dvs
+        self.ports = ()
+
+    def port(self, claims=None):
+        self.ports = self.ports + (claims,)
+        return self
+
+
+def build_good_tower(dvs, tower_cls):
+    fanout = DvsFanout(dvs)
+    port = fanout.port()
+    tower = tower_cls(port)  # bound before any drive
+    other = tower_cls(fanout.port())  # claimed and consumed inline
+    return tower, other
+
+
+def close_last(link, payload):
+    link.send(payload)
+    link.close()
+
+
+def close_in_one_branch(link, flag):
+    if flag:
+        link.close()
+    link.send("x")  # not must-closed: the other path never closed
+
+
+def reopened(link):
+    link.close()
+    link.connect()
+    link.send("hello again")
+
+
+def rebound(link, fresh):
+    link.close()
+    link = fresh
+    link.send("on the new handle")
+
+
+class Cluster:
+    def __init__(self, n):
+        self.n = n
+        self.monitor = None
+        self.nemesis = None
+
+    def start(self):
+        return self
+
+    def bcast(self, payload):
+        return payload
+
+    def run(self, duration):
+        return duration
+
+
+def arm_then_drive():
+    cluster = Cluster(3)
+    cluster.monitor = object()  # armed while still CREATED
+    cluster.start()
+    cluster.bcast("hello")
+    return cluster
+
+
+def context_managed():
+    with Cluster(2) as cluster:
+        cluster.run(1.0)
+    harness = Cluster(4)
+    harness.nemesis = object()
+    with harness:
+        harness.bcast("inside the with")
+
+
+class TidyLayer:
+    """Resets its view-scoped clock on every view change, via a
+    helper the handler calls."""
+
+    def __init__(self):
+        self.holdback = []
+        self.delivered = ()
+
+    def on_dvs_newview(self, view):
+        self._flush(view)
+
+    def _flush(self, view):
+        self.view = view
+        self.delivered = ()
+        del self.holdback[:]
+
+    def deliver(self, now):
+        released, self.delivered = drain(self.holdback, self.delivered)
+        return released

@@ -1,0 +1,121 @@
+"""Baseline hygiene: retired entries are pruned instead of rotting."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import lint_paths, prune_baseline
+from repro.lint.report import Finding
+
+from tests.lint.conftest import fixture_path
+
+
+def _finding(rule="DVS006", context=""):
+    return Finding(
+        rule=rule, path="mod.py", line=3, col=0,
+        message="a message", context=context,
+    )
+
+
+class TestPruneBaseline:
+    def test_live_entries_are_kept(self):
+        current = [_finding()]
+        baseline = {"findings": [current[0].to_dict()]}
+        kept, pruned = prune_baseline(baseline, current)
+        assert kept == [current[0].to_dict()]
+        assert pruned == []
+
+    def test_unknown_rule_is_retired(self):
+        entry = dict(_finding().to_dict(), rule="DVS999")
+        kept, pruned = prune_baseline({"findings": [entry]}, [])
+        assert kept == []
+        assert pruned == [entry]
+
+    def test_rotated_context_is_retired(self):
+        stale = _finding(rule="DVS015", context="wire-schema-v1")
+        live = _finding(rule="DVS015", context="wire-schema-v2")
+        kept, pruned = prune_baseline(
+            {"findings": [stale.to_dict(), live.to_dict()]}, [live]
+        )
+        assert kept == [live.to_dict()]
+        assert pruned == [stale.to_dict()]
+
+    def test_context_free_entries_survive_quiet_runs(self):
+        # No current findings at all: a context-free entry still waives
+        # a future regression, so it stays.
+        entry = _finding().to_dict()
+        kept, pruned = prune_baseline({"findings": [entry]}, [])
+        assert kept == [entry]
+        assert pruned == []
+
+    def test_accepts_a_bare_entry_list(self):
+        entry = dict(_finding().to_dict(), rule="DVS999")
+        kept, pruned = prune_baseline([entry], [])
+        assert (kept, pruned) == ([], [entry])
+
+
+class TestPruneCli:
+    def test_prune_rewrites_the_baseline_in_place(self, tmp_path, capsys):
+        target = fixture_path("determinism_bad.py")
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", target, "--format", "json",
+            "--output", str(baseline),
+        ]) == 1
+        data = json.loads(baseline.read_text())
+        data["findings"].append(
+            dict(data["findings"][0], rule="DVS999")
+        )
+        baseline.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main([
+            "lint", target, "--baseline", str(baseline),
+            "--prune-baseline", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "baseline pruned 1 retired entry" in out
+        assert "waived by the baseline" in out
+        rewritten = json.loads(baseline.read_text())
+        assert all(
+            entry["rule"] != "DVS999"
+            for entry in rewritten["findings"]
+        )
+
+    def test_prune_requires_a_baseline(self):
+        with pytest.raises(SystemExit):
+            main([
+                "lint", fixture_path("determinism_bad.py"),
+                "--prune-baseline",
+            ])
+
+    def test_nothing_to_prune_leaves_the_file_alone(
+        self, tmp_path, capsys
+    ):
+        target = fixture_path("determinism_bad.py")
+        baseline = tmp_path / "baseline.json"
+        main([
+            "lint", target, "--format", "json",
+            "--output", str(baseline),
+        ])
+        before = baseline.read_text()
+        capsys.readouterr()
+        assert main([
+            "lint", target, "--baseline", str(baseline),
+            "--prune-baseline", "--no-cache",
+        ]) == 0
+        assert "baseline pruned 0" in capsys.readouterr().out
+        assert baseline.read_text() == before
+
+
+def test_report_exposes_prune_counts_for_ci():
+    report = lint_paths([fixture_path("determinism_bad.py")])
+    stale = dict(report.findings[0].to_dict(), rule="DVS999")
+    kept, pruned = prune_baseline(
+        {"findings": [stale] + [
+            f.to_dict() for f in report.findings
+        ]},
+        report.findings,
+    )
+    assert len(kept) == len(report.findings)
+    assert len(pruned) == 1

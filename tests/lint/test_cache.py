@@ -1,0 +1,324 @@
+"""The incremental cache: cone keys, invalidation, warm-run speed and
+``changed_only`` narrowing."""
+
+import json
+import os
+import textwrap
+import time
+
+import pytest
+
+from repro.lint import LintCache, LintConfig, cone_of, lint_paths
+from repro.lint.cache import (
+    MANIFEST_NAME,
+    augmented_graph,
+    config_fingerprint,
+    direct_deps,
+    engine_fingerprint,
+)
+
+from tests.lint.conftest import FIXTURES
+
+
+def _write_tree(root, files):
+    paths = {}
+    for relative, source in files.items():
+        target = root / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+        paths[relative] = str(target)
+    return paths
+
+
+#: a.py imports b.py; c.py stands alone.  The workhorse layout.
+CHAIN = {
+    "pkg/__init__.py": "",
+    "pkg/a.py": """
+        from pkg.b import helper
+
+        def use(link):
+            return helper(link)
+    """,
+    "pkg/b.py": """
+        def helper(link):
+            link.close()
+            link.send("late")
+    """,
+    "pkg/c.py": """
+        def standalone():
+            return 1
+    """,
+}
+
+
+def _cache_info(report):
+    return report.engine["cache"]
+
+
+# -- Dependency extraction and cones -----------------------------------
+
+
+class TestDependencyGraph:
+    def test_absolute_import_resolves_by_suffix(self, tmp_path):
+        paths = _write_tree(tmp_path, CHAIN)
+        files = [os.path.normpath(p) for p in paths.values()]
+        a = os.path.normpath(paths["pkg/a.py"])
+        source = open(a).read()
+        assert direct_deps(a, source, files) == [
+            os.path.normpath(paths["pkg/b.py"])
+        ]
+
+    def test_relative_import_resolves_against_the_package(self, tmp_path):
+        paths = _write_tree(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/x.py": "from .y import thing\n",
+            "pkg/y.py": "thing = 1\n",
+        })
+        files = [os.path.normpath(p) for p in paths.values()]
+        x = os.path.normpath(paths["pkg/x.py"])
+        assert direct_deps(x, open(x).read(), files) == [
+            os.path.normpath(paths["pkg/y.py"])
+        ]
+
+    def test_cone_is_the_transitive_closure(self):
+        graph = {"a": ["b"], "b": ["c"], "c": [], "d": []}
+        assert cone_of("a", graph) == {"a", "b", "c"}
+        assert cone_of("c", graph) == {"c"}
+
+    def test_spec_modules_couple_the_tree(self, tmp_path):
+        paths = _write_tree(tmp_path, {
+            "pkg/spec.py": "",
+            "pkg/impl.py": "",
+            "other/far.py": "",
+        })
+        files = sorted(os.path.normpath(p) for p in paths.values())
+        graph = augmented_graph(
+            {path: [] for path in files}, LintConfig()
+        )
+        spec = os.path.normpath(paths["pkg/spec.py"])
+        impl = os.path.normpath(paths["pkg/impl.py"])
+        far = os.path.normpath(paths["other/far.py"])
+        # Every file depends on the spec (DVS022 vocabulary)...
+        assert spec in graph[impl] and spec in graph[far]
+        # ...and the spec depends on its own package's impls (DVS027
+        # reports at the spec) but not on far-away files.
+        assert impl in graph[spec]
+        assert far not in graph[spec]
+
+
+# -- Hit/miss behaviour ------------------------------------------------
+
+
+class TestWarmAndCold:
+    def test_second_run_is_fully_warm(self, tmp_path):
+        _write_tree(tmp_path / "tree", CHAIN)
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_paths([str(tmp_path / "tree")], cache_dir=cache_dir)
+        assert _cache_info(cold)["misses"] == 4
+        warm = lint_paths([str(tmp_path / "tree")], cache_dir=cache_dir)
+        assert _cache_info(warm) == {
+            "dir": cache_dir, "hits": 4, "misses": 0,
+            "analyzed": 0, "changed_only": False,
+        }
+
+    def test_warm_run_reports_the_cached_findings(self, tmp_path):
+        _write_tree(tmp_path / "tree", CHAIN)
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_paths([str(tmp_path / "tree")], cache_dir=cache_dir)
+        warm = lint_paths([str(tmp_path / "tree")], cache_dir=cache_dir)
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+        assert {f.rule for f in warm.findings} == {"DVS024"}
+
+    def test_config_change_rekeys_every_cone(self, tmp_path):
+        _write_tree(tmp_path / "tree", CHAIN)
+        cache_dir = str(tmp_path / "cache")
+        lint_paths([str(tmp_path / "tree")], cache_dir=cache_dir)
+        other = LintConfig(select={"DVS024"})
+        assert config_fingerprint(other) != config_fingerprint(
+            LintConfig()
+        )
+        report = lint_paths(
+            [str(tmp_path / "tree")], config=other, cache_dir=cache_dir
+        )
+        assert _cache_info(report)["misses"] == 4
+
+    def test_engine_change_discards_the_manifest(self, tmp_path):
+        _write_tree(tmp_path / "tree", CHAIN)
+        cache_dir = tmp_path / "cache"
+        lint_paths([str(tmp_path / "tree")], cache_dir=str(cache_dir))
+        manifest = cache_dir / MANIFEST_NAME
+        data = json.loads(manifest.read_text())
+        data["engine"] = "an-older-analyzer"
+        manifest.write_text(json.dumps(data))
+        report = lint_paths(
+            [str(tmp_path / "tree")], cache_dir=str(cache_dir)
+        )
+        assert _cache_info(report)["misses"] == 4
+
+    def test_deleted_files_are_pruned_from_the_manifest(self, tmp_path):
+        paths = _write_tree(tmp_path / "tree", CHAIN)
+        cache_dir = tmp_path / "cache"
+        lint_paths([str(tmp_path / "tree")], cache_dir=str(cache_dir))
+        os.unlink(paths["pkg/c.py"])
+        report = lint_paths(
+            [str(tmp_path / "tree")], cache_dir=str(cache_dir)
+        )
+        assert report.files_scanned == 3
+        data = json.loads((cache_dir / MANIFEST_NAME).read_text())
+        assert not any("c.py" in path for path in data["files"])
+
+    def test_suppressions_are_reapplied_over_cached_findings(
+        self, tmp_path
+    ):
+        tree = {
+            "mod.py": """
+                def f(link, m):
+                    link.close()
+                    link.send(m)  # lint: ignore[DVS024]
+            """,
+        }
+        _write_tree(tmp_path / "tree", tree)
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_paths([str(tmp_path / "tree")], cache_dir=cache_dir)
+        assert cold.ok and cold.suppressed == 1
+        warm = lint_paths([str(tmp_path / "tree")], cache_dir=cache_dir)
+        # The cache stores *raw* findings: the pragma is honoured again
+        # on the warm run without any re-analysis.
+        assert _cache_info(warm)["analyzed"] == 0
+        assert warm.ok and warm.suppressed == 1
+
+
+# -- changed_only ------------------------------------------------------
+
+
+class TestChangedOnly:
+    def test_requires_a_cache(self):
+        with pytest.raises(ValueError):
+            lint_paths(["whatever"], changed_only=True)
+
+    def test_one_file_edit_analyzes_only_its_cone(self, tmp_path):
+        paths = _write_tree(tmp_path / "tree", CHAIN)
+        cache_dir = str(tmp_path / "cache")
+        lint_paths([str(tmp_path / "tree")], cache_dir=cache_dir)
+        with open(paths["pkg/b.py"], "a") as handle:
+            handle.write("\nEXTRA = 1\n")
+        report = lint_paths(
+            [str(tmp_path / "tree")],
+            cache_dir=cache_dir,
+            changed_only=True,
+        )
+        info = _cache_info(report)
+        # b.py changed; a.py imports it so its cone key missed too.
+        # __init__.py and c.py stay warm, and the analysis touches
+        # exactly the dirty files' dependency cones: {a, b}.
+        assert info["misses"] == 2
+        assert info["hits"] == 2
+        assert info["analyzed"] == 2
+        assert info["changed_only"] is True
+
+    def test_cached_findings_stay_authoritative_for_clean_files(
+        self, tmp_path
+    ):
+        tree = dict(CHAIN)
+        tree["pkg/c.py"] = """
+            def closes(link, m):
+                link.close()
+                link.send(m)
+        """
+        paths = _write_tree(tmp_path / "tree", tree)
+        cache_dir = str(tmp_path / "cache")
+        cold = lint_paths([str(tmp_path / "tree")], cache_dir=cache_dir)
+        assert len(cold.findings) == 2  # b.py and c.py
+        with open(paths["pkg/a.py"], "a") as handle:
+            handle.write("\nEXTRA = 1\n")
+        report = lint_paths(
+            [str(tmp_path / "tree")],
+            cache_dir=cache_dir,
+            changed_only=True,
+        )
+        # c.py was not re-analyzed, yet its cached finding still gates.
+        assert _cache_info(report)["analyzed"] == 2
+        assert {f.rule for f in report.findings} == {"DVS024"}
+        assert len(report.findings) == 2
+
+    def test_edit_that_introduces_a_finding_is_caught(self, tmp_path):
+        paths = _write_tree(tmp_path / "tree", CHAIN)
+        cache_dir = str(tmp_path / "cache")
+        lint_paths([str(tmp_path / "tree")], cache_dir=cache_dir)
+        with open(paths["pkg/c.py"], "w") as handle:
+            handle.write(
+                "def broken(link, m):\n"
+                "    link.close()\n"
+                "    link.send(m)\n"
+            )
+        report = lint_paths(
+            [str(tmp_path / "tree")],
+            cache_dir=cache_dir,
+            changed_only=True,
+        )
+        assert _cache_info(report)["analyzed"] == 1
+        assert any(
+            f.rule == "DVS024" and f.path.endswith("c.py")
+            for f in report.findings
+        )
+
+
+# -- Parallel parity and warm-run speed --------------------------------
+
+
+class TestJobsAndSpeed:
+    def test_forked_passes_match_serial_findings(self):
+        target = os.path.join(FIXTURES, "typestate_bad.py")
+        serial = lint_paths([target], jobs=1)
+        forked = lint_paths([target], jobs=4)
+        assert [f.to_dict() for f in forked.findings] == [
+            f.to_dict() for f in serial.findings
+        ]
+        assert forked.engine.get("jobs") == 4
+
+    def test_warm_run_beats_cold_by_3x(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        start = time.perf_counter()
+        cold = lint_paths([FIXTURES], cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = lint_paths([FIXTURES], cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - start
+        assert _cache_info(warm)["analyzed"] == 0
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+        assert cold_seconds > 3 * warm_seconds, (
+            f"cold {cold_seconds:.3f}s vs warm {warm_seconds:.3f}s"
+        )
+
+
+# -- The manifest object -----------------------------------------------
+
+
+class TestManifest:
+    def test_fingerprint_is_stable_within_a_process(self):
+        assert engine_fingerprint() == engine_fingerprint()
+
+    def test_deps_reuse_skips_the_parse(self, tmp_path):
+        cache = LintCache(str(tmp_path / "cache"))
+        cache.store("mod.py", "sha1", ["dep.py"], "key", [])
+        # Matching sha: manifest deps come back even for junk source.
+        assert cache.deps_for(
+            "mod.py", "sha1", "not ( python", ["mod.py", "dep.py"]
+        ) == ["dep.py"]
+        # Mismatched sha: falls back to extraction (junk parses to []).
+        assert cache.deps_for(
+            "mod.py", "sha2", "not ( python", ["mod.py", "dep.py"]
+        ) == []
+
+    def test_save_and_reload_roundtrip(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = LintCache(directory)
+        cache.store("mod.py", "sha1", [], "key", [])
+        cache.save()
+        reloaded = LintCache(directory)
+        assert reloaded.findings_for("mod.py", "key") == []
+        assert reloaded.findings_for("mod.py", "other-key") is None

@@ -1,0 +1,249 @@
+"""Unit tests for the monotone dataflow framework itself."""
+
+import ast
+
+import pytest
+
+from repro.lint.dataflow import (
+    Analysis,
+    MAX_VISITS_PER_BLOCK,
+    SummaryTable,
+    facts_at_statements,
+    join_facts,
+    negated_none_comparisons,
+    none_comparisons,
+    run_forward,
+    self_attr_of,
+    statement_parts,
+)
+from repro.lint.ir import FunctionIR
+
+
+def _ir(source, name=None):
+    tree = ast.parse(source)
+    func = next(
+        node for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and (name is None or node.name == name)
+    )
+    return FunctionIR(func, path="<test>")
+
+
+class TrackAssigns(Analysis):
+    """fact: local name -> "set" after any assignment to it."""
+
+    def transfer(self, fact, stmt, ir):
+        for part in statement_parts(stmt):
+            if isinstance(part, ast.Assign):
+                for target in part.targets:
+                    if isinstance(target, ast.Name):
+                        fact = dict(fact)
+                        fact[target.id] = "set"
+        return fact
+
+
+class TestMustJoin:
+    def test_agreeing_branches_keep_the_key(self):
+        ir = _ir(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        facts = facts_at_statements(TrackAssigns(), ir)
+        ret = next(
+            stmt for stmt in ast.walk(ir.node)
+            if isinstance(stmt, ast.Return)
+        )
+        assert facts[id(ret)] == {"x": "set"}
+
+    def test_one_sided_assignment_is_dropped_at_the_merge(self):
+        ir = _ir(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    return x\n"
+        )
+        facts = facts_at_statements(TrackAssigns(), ir)
+        ret = next(
+            stmt for stmt in ast.walk(ir.node)
+            if isinstance(stmt, ast.Return)
+        )
+        assert facts[id(ret)] == {}
+
+    def test_join_values_disagreement_drops_key(self):
+        analysis = Analysis()
+        assert join_facts(
+            {"k": "a", "m": "x"}, {"k": "b", "m": "x"}, analysis
+        ) == {"m": "x"}
+
+
+class RefineNone(Analysis):
+    """Tracks nonnull-ness of ``self.attr`` purely from branch
+    conditions."""
+
+    def refine(self, fact, test, sense, ir):
+        pairs = (
+            none_comparisons(test) if sense
+            else negated_none_comparisons(test)
+        )
+        for operand, is_none in pairs:
+            attr = self_attr_of(operand)
+            if attr is not None:
+                fact = dict(fact)
+                fact[attr] = "null" if is_none else "nonnull"
+        return fact
+
+
+class TestEdgeRefinement:
+    def test_true_and_false_edges_learn_opposite_facts(self):
+        ir = _ir(
+            "def f(self):\n"
+            "    if self.cur is None:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+        )
+        facts = facts_at_statements(RefineNone(), ir)
+        then_stmt, else_stmt = (
+            stmt for stmt in ast.walk(ir.node)
+            if isinstance(stmt, ast.Assign)
+        )
+        assert facts[id(then_stmt)] == {"cur": "null"}
+        assert facts[id(else_stmt)] == {"cur": "nonnull"}
+
+    def test_early_return_guard_proves_the_tail(self):
+        ir = _ir(
+            "def f(self):\n"
+            "    if self.cur is None:\n"
+            "        return\n"
+            "    x = 1\n"
+        )
+        facts = facts_at_statements(RefineNone(), ir)
+        tail = next(
+            stmt for stmt in ast.walk(ir.node)
+            if isinstance(stmt, ast.Assign)
+        )
+        assert facts[id(tail)] == {"cur": "nonnull"}
+
+    def test_conjunction_proves_each_conjunct_on_true_only(self):
+        test = ast.parse(
+            "self.a is not None and self.b is None", mode="eval"
+        ).body
+        assert [
+            (self_attr_of(op), is_none)
+            for op, is_none in none_comparisons(test)
+        ] == [("a", False), ("b", True)]
+        # Negating a conjunction proves nothing about its conjuncts.
+        assert negated_none_comparisons(test) == []
+
+
+class Growing(Analysis):
+    """A deliberately non-monotone analysis: the joined value keeps
+    growing at the loop head, so the fixpoint never stabilises."""
+
+    def initial(self, ir):
+        return {"n": 0}
+
+    def join_values(self, a, b):
+        return a + b + 1
+
+    def transfer(self, fact, stmt, ir):
+        return fact
+
+
+class TestSafetyValve:
+    def test_non_monotone_analysis_trips_the_valve(self):
+        ir = _ir(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n = n - 1\n"
+            "    return n\n"
+        )
+        assert run_forward(Growing(), ir) is None
+        assert facts_at_statements(Growing(), ir) is None
+
+    def test_valve_is_generous_enough_for_real_lattices(self):
+        # A loop over a finite lattice converges far below the valve.
+        ir = _ir(
+            "def f(n):\n"
+            "    x = 1\n"
+            "    while n:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        facts = facts_at_statements(TrackAssigns(), ir)
+        assert facts is not None
+        assert MAX_VISITS_PER_BLOCK >= 16
+
+
+class TestStatementParts:
+    def test_nested_definitions_contribute_nothing(self):
+        module = ast.parse(
+            "def outer():\n"
+            "    def inner():\n"
+            "        cluster.bcast('x')\n"
+            "    class Local:\n"
+            "        y = cluster.run()\n"
+        )
+        outer = module.body[0]
+        for stmt in outer.body:
+            assert statement_parts(stmt) == ()
+
+    def test_compound_headers_only(self):
+        stmt = ast.parse("for i in xs:\n    pass\n").body[0]
+        assert statement_parts(stmt) == (stmt.target, stmt.iter)
+        stmt = ast.parse("try:\n    pass\nfinally:\n    pass\n").body[0]
+        assert statement_parts(stmt) == ()
+
+
+class TestSummaryTable:
+    def test_memoises(self):
+        calls = []
+
+        def compute(ir, table):
+            calls.append(ir)
+            return True
+
+        table = SummaryTable(compute, bottom=False)
+        ir = _ir("def f():\n    pass\n")
+        assert table.get(ir) is True
+        assert table.get(ir) is True
+        assert len(calls) == 1
+
+    def test_cycle_returns_bottom(self):
+        ir_a = _ir("def a():\n    pass\n")
+        ir_b = _ir("def b():\n    pass\n")
+        pair = {id(ir_a): ir_b, id(ir_b): ir_a}
+
+        def compute(ir, table):
+            # a asks about b, b asks back about a: the cycle must
+            # resolve to bottom instead of recursing.
+            return table.get(pair[id(ir)])
+
+        table = SummaryTable(compute, bottom="bottom")
+        assert table.get(ir_a) == "bottom"
+
+
+def test_try_handler_merge_is_conservative():
+    # An exception may arrive before the body ran: facts proven inside
+    # the try body must not survive into the handler.
+    ir = _ir(
+        "def f(c):\n"
+        "    try:\n"
+        "        x = 1\n"
+        "        risky()\n"
+        "    except ValueError:\n"
+        "        y = 2\n"
+        "    return c\n"
+    )
+    facts = facts_at_statements(TrackAssigns(), ir)
+    handler_stmt = next(
+        stmt for stmt in ast.walk(ir.node)
+        if isinstance(stmt, ast.Assign)
+        and isinstance(stmt.targets[0], ast.Name)
+        and stmt.targets[0].id == "y"
+    )
+    assert "x" not in facts[id(handler_stmt)]

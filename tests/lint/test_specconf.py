@@ -1,0 +1,177 @@
+"""Site-level detail coverage for the spec-conformance pass
+(DVS022 unguarded spec sends, DVS027 spec drift) and the automata
+metadata it projects from."""
+
+import ast
+import textwrap
+
+from repro.ioa.metadata import is_none_guarded, state_writes
+from repro.lint import lint_paths
+
+from tests.lint.conftest import findings_for
+
+
+def _lint_source(tmp_path, source, name="sample.py"):
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source))
+    return lint_paths([str(target)])
+
+
+def _func(source):
+    return ast.parse(textwrap.dedent(source)).body[0]
+
+
+# -- the metadata layer the pass is built on ---------------------------
+
+
+class TestNoneGuardProjection:
+    def test_canonical_spec_effect_is_guarded(self):
+        func = _func("""
+            def eff_dvs_gpsnd(self, state, p, m):
+                g = state.current_viewid.get(p)
+                if g is not None:
+                    state.pending[g].append((p, m))
+        """)
+        assert is_none_guarded(func)
+
+    def test_read_accessors_are_not_writes(self):
+        func = _func("""
+            def eff(self, state, p):
+                state.current_viewid.get(p)
+                state.members.copy()
+        """)
+        assert state_writes(func) == ()
+        # ...and with no writes there is nothing to guard.
+        assert not is_none_guarded(func)
+
+    def test_early_bailout_shape_is_guarded(self):
+        func = _func("""
+            def eff(self, state, p, m):
+                g = state.current_viewid.get(p)
+                if g is None:
+                    return
+                state.pending[g].append((p, m))
+        """)
+        assert is_none_guarded(func)
+
+    def test_one_unguarded_write_defeats_the_idiom(self):
+        func = _func("""
+            def eff(self, state, p, m):
+                g = state.current_viewid.get(p)
+                if g is not None:
+                    state.pending[g].append((p, m))
+                state.log.append(m)
+        """)
+        assert not is_none_guarded(func)
+
+
+# -- DVS022 ------------------------------------------------------------
+
+
+class TestUnguardedSpecSend:
+    def test_site_names_spec_layer_and_attribute(self, lint_fixture):
+        report = lint_fixture("specconf_bad.py")
+        (finding,) = findings_for(report, "DVS022")
+        assert finding.line == 81
+        assert "BadLayer.gpsnd" in finding.message
+        assert "(cur)" in finding.message
+        assert "DemoSpec.eff_dvs_gpsnd" in finding.message
+
+    def test_guarded_calls_in_good_fixture(self, lint_fixture):
+        report = lint_fixture("specconf_good.py")
+        assert not findings_for(report, "DVS022"), report.to_text()
+
+    def test_guard_in_caller_does_not_leak_into_callee(self, tmp_path):
+        # The guard must dominate the send in the *same* function; a
+        # guard at one call site proves nothing about the method.
+        report = _lint_source(tmp_path, """
+            from repro.ioa.automaton import TransitionAutomaton
+
+            class DemoSpec(TransitionAutomaton):
+                inputs = frozenset({"dvs_gpsnd"})
+                outputs = frozenset()
+                internals = frozenset()
+
+                def eff_dvs_gpsnd(self, state, p, m):
+                    g = state.current_viewid.get(p)
+                    if g is not None:
+                        state.pending[g].append((p, m))
+
+            class Layer:
+                def __init__(self, stack):
+                    self.stack = stack
+                    self.cur = None
+
+                def on_dvs_newview(self, view):
+                    self.cur = view
+
+                def gpsnd(self, payload):
+                    self.stack.gpsnd(payload)
+
+                def caller(self, payload):
+                    if self.cur is not None:
+                        self.gpsnd(payload)
+        """)
+        (finding,) = findings_for(report, "DVS022")
+        assert "Layer.gpsnd" in finding.message
+
+
+# -- DVS027 ------------------------------------------------------------
+
+
+class TestSpecDrift:
+    def test_kind_mismatches_report_at_the_impl_class(self, lint_fixture):
+        report = lint_fixture("specconf_bad.py")
+        mismatches = [
+            f for f in findings_for(report, "DVS027")
+            if "declares" in f.message
+        ]
+        assert len(mismatches) == 2
+        assert all(f.line == 41 for f in mismatches)
+        assert {
+            action
+            for f in mismatches
+            for action in ("dvs_gpsnd", "dvs_register")
+            if action in f.message
+        } == {"dvs_gpsnd", "dvs_register"}
+
+    def test_unguarded_output_reports_at_the_effect(self, lint_fixture):
+        report = lint_fixture("specconf_bad.py")
+        (finding,) = [
+            f for f in findings_for(report, "DVS027")
+            if "unguarded" in f.message
+        ]
+        assert finding.line == 57
+        assert "dvs_newview" in finding.message
+
+    def test_unimplemented_external_reports_at_the_spec(self, lint_fixture):
+        report = lint_fixture("specconf_bad.py")
+        (finding,) = [
+            f for f in findings_for(report, "DVS027")
+            if "implemented by no automaton" in f.message
+        ]
+        assert finding.line == 7  # the DemoSpec class line
+        assert "dvs_leave" in finding.message
+
+    def test_conforming_package_has_no_drift(self, lint_fixture):
+        report = lint_fixture("specconf_good.py")
+        assert not findings_for(report, "DVS027"), report.to_text()
+
+    def test_spec_only_package_is_not_drift(self, tmp_path):
+        # A package that ships only the spec automaton (impls live
+        # elsewhere) must not drown in unimplemented-external noise
+        # for actions some *other* automaton in the dir implements.
+        report = _lint_source(tmp_path, """
+            from repro.ioa.automaton import TransitionAutomaton
+
+            class OnlySpec(TransitionAutomaton):
+                inputs = frozenset({"dvs_gpsnd"})
+                outputs = frozenset()
+                internals = frozenset()
+
+                def eff_dvs_gpsnd(self, state, p, m):
+                    g = state.current_viewid.get(p)
+                    if g is not None:
+                        state.pending[g].append((p, m))
+        """, name="spec.py")
+        assert not findings_for(report, "DVS027"), report.to_text()

@@ -1,0 +1,182 @@
+"""Site-level detail coverage for the protocol-typestate pass
+(DVS023-DVS026), including the interprocedural closer summary."""
+
+import textwrap
+
+from repro.lint import LintConfig, lint_paths
+
+from tests.lint.conftest import findings_for
+
+
+def _lint_source(tmp_path, source, config=None, name="sample.py"):
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source))
+    return lint_paths([str(target)], config=config)
+
+
+class TestFanoutPorts:
+    def test_sites_and_messages(self, lint_fixture):
+        report = lint_fixture("typestate_bad.py")
+        drive, dropped = findings_for(report, "DVS023")
+        assert drive.line == 21
+        assert "not bound to a tower" in drive.message
+        assert dropped.line == 22
+        assert "drops it" in dropped.message
+
+    def test_port_bound_through_any_call_is_fine(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            class DvsFanout:
+                def port(self):
+                    return self
+
+            def good(dvs, tower_cls, registry):
+                fanout = DvsFanout()
+                port = fanout.port()
+                registry.adopt(port)
+                port.gpsnd("fine: escaped to the tower")
+        """)
+        assert not findings_for(report, "DVS023"), report.to_text()
+
+
+class TestSendAfterClose:
+    def test_sites(self, lint_fixture):
+        report = lint_fixture("typestate_bad.py")
+        assert [f.line for f in findings_for(report, "DVS024")] == [29, 34]
+
+    def test_interprocedural_closer_summary(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            class Session:
+                def __init__(self, link):
+                    self.link = link
+
+                def shutdown(self):
+                    self.link.close()
+
+                def bad(self, m):
+                    self.shutdown()
+                    self.link.send(m)
+        """)
+        (finding,) = findings_for(report, "DVS024")
+        assert "self.link.send()" in finding.message
+
+    def test_helper_that_does_not_close_stays_silent(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            class Session:
+                def __init__(self, link):
+                    self.link = link
+
+                def flush(self):
+                    self.link.send("flush")
+
+                def fine(self, m):
+                    self.flush()
+                    self.link.send(m)
+        """)
+        assert report.ok, report.to_text()
+
+    def test_reopen_between_close_and_send_is_fine(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            def cycle(link, m):
+                link.close()
+                link.connect()
+                link.send(m)
+        """)
+        assert report.ok, report.to_text()
+
+    def test_close_on_one_branch_only_is_a_may_not_a_must(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            def maybe(link, m, flaky):
+                if flaky:
+                    link.close()
+                link.send(m)
+        """)
+        assert report.ok, report.to_text()
+
+
+class TestHarnessArming:
+    def test_sites_and_messages(self, lint_fixture):
+        report = lint_fixture("typestate_bad.py")
+        early_drive, late_arm = findings_for(report, "DVS025")
+        assert early_drive.line == 55
+        assert "before cluster.start()" in early_drive.message
+        assert late_arm.line == 57
+        assert "armed after cluster.start()" in late_arm.message
+
+    def test_context_manager_counts_as_started(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            class Cluster:
+                def __init__(self, n):
+                    self.monitor = None
+
+                def start(self):
+                    return self
+
+                def bcast(self, payload):
+                    return payload
+
+            def scenario():
+                with Cluster(3) as cluster:
+                    cluster.bcast("fine inside the with")
+        """)
+        assert report.ok, report.to_text()
+
+
+class TestViewScopedClocks:
+    def test_leak_names_the_attribute(self, lint_fixture):
+        report = lint_fixture("typestate_bad.py")
+        (finding,) = findings_for(report, "DVS026")
+        assert "self.delivered" in finding.message
+        assert "newview boundary" in finding.message
+
+    def test_reset_via_transitive_helper_is_fine(self, tmp_path):
+        report = _lint_source(tmp_path, """
+            from repro.cb.clocks import drain
+
+            class TidyLayer:
+                def __init__(self):
+                    self.holdback = []
+                    self.delivered = ()
+
+                def on_dvs_newview(self, view):
+                    self._rollover(view)
+
+                def _rollover(self, view):
+                    self.view = view
+                    self.delivered = ()
+
+                def deliver(self, now):
+                    out, self.delivered = drain(
+                        self.holdback, self.delivered
+                    )
+                    return out
+        """)
+        assert not findings_for(report, "DVS026"), report.to_text()
+
+    def test_clock_module_knob_scopes_the_rule(self, tmp_path):
+        # Same shape, but the value does not come from a clock module:
+        # no view-scoped obligation, no finding.
+        report = _lint_source(tmp_path, """
+            from some.other.helpers import drain
+
+            class Layer:
+                def __init__(self):
+                    self.delivered = ()
+
+                def on_dvs_newview(self, view):
+                    self.view = view
+
+                def deliver(self, held):
+                    out, self.delivered = drain(held, self.delivered)
+                    return out
+        """)
+        assert report.ok, report.to_text()
+
+
+def test_typestate_respects_select(tmp_path):
+    config = LintConfig(select={"DVS024"})
+    report = _lint_source(tmp_path, """
+        def f(link, m):
+            link.close()
+            link.send(m)
+    """, config=config)
+    assert {f.rule for f in report.findings} == {"DVS024"}

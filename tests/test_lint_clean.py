@@ -27,13 +27,14 @@ def test_source_tree_scan_covers_the_package():
 
 
 def test_rule_registry_shape():
-    assert len(RULES) >= 21
+    assert len(RULES) >= 27
     for rule_id, rule in RULES.items():
         assert rule_id == rule.id
         assert rule_id.startswith("DVS")
         assert rule.lint_pass in (
             "wellformed", "determinism", "aliasing",
             "races", "escape", "wire", "asyncflow", "taint",
+            "typestate", "specconf",
         )
         assert rule.summary and rule.hint
         assert rule.level in ("error", "warning", "note")
@@ -41,6 +42,7 @@ def test_rule_registry_shape():
     assert passes == {
         "wellformed", "determinism", "aliasing",
         "races", "escape", "wire", "asyncflow", "taint",
+        "typestate", "specconf",
     }
 
 
@@ -52,4 +54,6 @@ def test_clean_gate_covers_the_interprocedural_rules():
     assert "wire" in report.engine["passes"]
     assert "asyncflow" in report.engine["passes"]
     assert "taint" in report.engine["passes"]
+    assert "typestate" in report.engine["passes"]
+    assert "specconf" in report.engine["passes"]
     assert report.engine["ir_functions"] > 100
